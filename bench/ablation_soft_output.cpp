@@ -1,0 +1,59 @@
+// Extension evaluation (§7's "promising next step"): list-based soft output.
+//
+// FlexCore's parallel path evaluation produces a candidate list for free,
+// from which max-log LLRs fall out (core::FlexCoreDetector::detect_soft).
+// This bench measures what the extension buys over hard-decision Viterbi
+// at the packet level, across SNRs and PE budgets.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "channel/trace.h"
+#include "core/flexcore_detector.h"
+#include "sim/montecarlo.h"
+
+namespace ch = flexcore::channel;
+namespace fc = flexcore::core;
+namespace fs = flexcore::sim;
+namespace fb = flexcore::bench;
+using flexcore::modulation::Constellation;
+
+int main() {
+  const std::size_t packets = fb::env_size("FLEXCORE_PACKETS", 12);
+  Constellation qam(64);
+
+  fs::LinkConfig lcfg;
+  lcfg.qam_order = 64;
+  lcfg.info_bits_per_user = 1152;
+  ch::TraceConfig tcfg;
+  tcfg.nr = 8;
+  tcfg.nt = 8;
+
+  fb::banner("Extension: list-based soft output vs hard decisions "
+             "(8x8 64-QAM)");
+  std::printf("%-8s %-6s %-22s %-22s %-12s\n", "SNR dB", "PEs",
+              "hard: PER / Mbit/s", "soft: PER / Mbit/s", "gain (Mb/s)");
+  fb::rule();
+
+  for (double snr : {14.0, 15.0, 16.0, 17.0}) {
+    const double nv = ch::noise_var_for_snr_db(snr);
+    for (std::size_t pes : {16u, 64u}) {
+      fc::FlexCoreConfig cfg;
+      cfg.num_pes = pes;
+      fc::FlexCoreDetector det(qam, cfg);
+
+      const auto hard =
+          fs::measure_throughput(det, lcfg, tcfg, nv, packets, 11);
+      const auto soft =
+          fs::measure_throughput_soft(det, lcfg, tcfg, nv, packets, 11);
+      std::printf("%-8.1f %-6zu %6.3f / %-13.1f %6.3f / %-13.1f %-+12.1f\n",
+                  snr, pes, hard.avg_per, hard.throughput_mbps, soft.avg_per,
+                  soft.throughput_mbps,
+                  soft.throughput_mbps - hard.throughput_mbps);
+    }
+  }
+
+  std::printf("\nReading: the soft extension converts the already-computed "
+              "path list into coding\ngain, largest near the PER cliff and "
+              "with richer lists (more PEs).\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every bench binary prints the rows/series of one paper table or figure.
+// Monte-Carlo sizes default to values that keep each binary's runtime in
+// the tens of seconds; set FLEXCORE_PACKETS / FLEXCORE_TRIALS to larger
+// values (or FLEXCORE_FULL=1 for the full sweeps) to tighten confidence —
+// EXPERIMENTS.md records which settings produced the committed numbers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace flexcore::bench {
+
+/// Integer environment knob with default.
+inline std::size_t env_size(const char* name, std::size_t def) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return def;
+  const long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : def;
+}
+
+/// Boolean environment flag (set to any non-empty, non-"0" value).
+inline bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v && *v && std::string(v) != "0";
+}
+
+/// Section banner.
+inline void banner(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+/// Horizontal rule sized for typical rows.
+inline void rule() {
+  std::printf("-------------------------------------------------------------"
+              "-----------------\n");
+}
+
+}  // namespace flexcore::bench

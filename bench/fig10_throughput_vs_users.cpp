@@ -1,0 +1,85 @@
+// Fig. 10 reproduction: network throughput of FlexCore (64 PEs), a-FlexCore
+// (adaptive, threshold 0.95), Geosphere (ML sphere decoder) and MMSE as the
+// number of simultaneous users at a 12-antenna AP grows from 6 to 12
+// (64-QAM, SNR at the 12-user PER_ML = 0.01 operating point), plus
+// a-FlexCore's average number of activated PEs — the line plot of Fig. 10.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "channel/trace.h"
+#include "core/flexcore_detector.h"
+#include "detect/linear.h"
+#include "detect/ml_sphere.h"
+#include "sim/montecarlo.h"
+
+namespace ch = flexcore::channel;
+namespace fc = flexcore::core;
+namespace fd = flexcore::detect;
+namespace fs = flexcore::sim;
+namespace fb = flexcore::bench;
+using flexcore::modulation::Constellation;
+
+int main() {
+  const std::size_t packets = fb::env_size("FLEXCORE_PACKETS", 12);
+  const std::uint64_t seed = 77;
+  Constellation qam(64);
+
+  fs::LinkConfig lcfg;
+  lcfg.qam_order = 64;
+  lcfg.info_bits_per_user = 1152;
+
+  fb::banner("Fig. 10: throughput vs number of users (12-antenna AP, 64-QAM)");
+
+  // Calibrate at the fully-loaded 12-user point, as the paper does, then
+  // hold the SNR fixed while the user count drops.
+  ch::TraceConfig cal_cfg;
+  cal_cfg.nr = 12;
+  cal_cfg.nt = 12;
+  fd::MlSphereDecoder::Options ml_opt;
+  ml_opt.max_nodes = 20000;
+  fd::MlSphereDecoder ml(qam, ml_opt);
+  const double snr = fs::find_snr_for_per(
+      ml, lcfg, cal_cfg, 0.01, 2.0, 26.0, 7,
+      std::max<std::size_t>(packets / 2, 6), seed);
+  const double nv = ch::noise_var_for_snr_db(snr);
+  std::printf("calibrated SNR (PER_ML=0.01 at 12 users): %.2f dB\n\n", snr);
+
+  std::printf("%-7s %-14s %-14s %-16s %-14s %-12s\n", "users",
+              "Geosphere", "MMSE", "FlexCore-64", "a-FlexCore", "avg PEs");
+  fb::rule();
+
+  for (std::size_t users = 6; users <= 12; ++users) {
+    ch::TraceConfig tcfg = cal_cfg;
+    tcfg.nt = users;
+
+    fd::LinearDetector mmse(qam, fd::LinearKind::kMmse);
+    fc::FlexCoreConfig flex_cfg;
+    flex_cfg.num_pes = 64;
+    fc::FlexCoreDetector flex(qam, flex_cfg);
+    fc::FlexCoreConfig ad_cfg = flex_cfg;
+    ad_cfg.adaptive_threshold = 0.95;
+    fc::FlexCoreDetector aflex(qam, ad_cfg);
+
+    const auto r_ml = fs::measure_throughput(ml, lcfg, tcfg, nv, packets, seed);
+    const auto r_mmse =
+        fs::measure_throughput(mmse, lcfg, tcfg, nv, packets, seed);
+    const auto r_flex =
+        fs::measure_throughput(flex, lcfg, tcfg, nv, packets, seed);
+    const auto r_aflex =
+        fs::measure_throughput(aflex, lcfg, tcfg, nv, packets, seed);
+
+    std::printf("%-7zu %-14.1f %-14.1f %-16.1f %-14.1f %-12.2f\n", users,
+                r_ml.throughput_mbps, r_mmse.throughput_mbps,
+                r_flex.throughput_mbps, r_aflex.throughput_mbps,
+                r_aflex.avg_active_pes);
+  }
+
+  std::printf("\nShape checks vs the paper:\n");
+  std::printf("  * MMSE near-optimal only when users << antennas; collapses "
+              "toward Nt = Nr.\n");
+  std::printf("  * FlexCore / a-FlexCore track Geosphere across the sweep.\n");
+  std::printf("  * a-FlexCore's active PEs shrink toward ~1 for few users "
+              "and grow as the channel hardens.\n");
+  return 0;
+}

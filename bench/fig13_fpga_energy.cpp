@@ -1,0 +1,81 @@
+// Fig. 13 reproduction: FPGA energy efficiency (Joules/bit) of FlexCore and
+// FCSD engines vs the number of instantiated processing elements M, under
+// equal network-throughput requirements.
+//
+// Path-count pairs follow §5.3: for 12x12 64-QAM, FlexCore needs 32 / 128
+// paths to match the network throughput the FCSD reaches with 64 / 4096
+// (L=1 / L=2); for 8x8, FlexCore-32 matches FCSD L=1 (64).  Per-PE power
+// and fmax come from the Table 3 model at a common 5.5 ns clock; PE counts
+// beyond the physical device are extrapolated at 75% utilization exactly as
+// the paper does.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "perfmodel/fpga_model.h"
+
+namespace pm = flexcore::perfmodel;
+namespace fb = flexcore::bench;
+
+namespace {
+
+struct Config {
+  const char* label;
+  pm::EngineKind kind;
+  std::size_t nt;
+  std::size_t paths;
+};
+
+}  // namespace
+
+int main() {
+  const double clock_mhz = 1000.0 / 5.5;  // the paper's 5.5 ns exploration
+
+  const std::vector<Config> configs{
+      {"FCSD,     Nt=8,  L=1 (64 paths)  ", pm::EngineKind::kFcsd, 8, 64},
+      {"FlexCore, Nt=8,  L=1-equiv (32)  ", pm::EngineKind::kFlexCore, 8, 32},
+      {"FCSD,     Nt=12, L=1 (64 paths)  ", pm::EngineKind::kFcsd, 12, 64},
+      {"FCSD,     Nt=12, L=2 (4096 paths)", pm::EngineKind::kFcsd, 12, 4096},
+      {"FlexCore, Nt=12, L=1-equiv (32)  ", pm::EngineKind::kFlexCore, 12, 32},
+      {"FlexCore, Nt=12, L=2-equiv (128) ", pm::EngineKind::kFlexCore, 12, 128},
+  };
+
+  fb::banner("Fig. 13: FPGA energy efficiency vs instantiated PEs (J/bit)");
+  std::printf("%-36s", "config \\ M");
+  const std::vector<std::size_t> ms{1, 2, 4, 8, 16, 32, 64, 128};
+  for (std::size_t m : ms) std::printf(" %-10zu", m);
+  std::printf("\n");
+  fb::rule();
+
+  for (const auto& cfg : configs) {
+    const auto pe = pm::paper_pe_resource(cfg.kind, cfg.nt);
+    const std::size_t phys = pm::max_instantiable_pes(pe);
+    std::printf("%-36s", cfg.label);
+    for (std::size_t m : ms) {
+      if (m > cfg.paths) {
+        std::printf(" %-10s", "-");  // more PEs than paths is pointless
+        continue;
+      }
+      const double e = pm::energy_per_bit(pe, clock_mhz, 64, cfg.paths, m);
+      std::printf(" %-10.2e", e);
+    }
+    std::printf("  (device fits ~%zu PEs)\n", phys);
+  }
+
+  fb::banner("Equal-network-throughput energy ratios (FCSD / FlexCore)");
+  const auto flex8 = pm::paper_pe_resource(pm::EngineKind::kFlexCore, 8);
+  const auto fcsd8 = pm::paper_pe_resource(pm::EngineKind::kFcsd, 8);
+  const auto flex12 = pm::paper_pe_resource(pm::EngineKind::kFlexCore, 12);
+  const auto fcsd12 = pm::paper_pe_resource(pm::EngineKind::kFcsd, 12);
+  const double r8 = pm::energy_per_bit(fcsd8, clock_mhz, 64, 64, 16) /
+                    pm::energy_per_bit(flex8, clock_mhz, 64, 32, 16);
+  const double r12a = pm::energy_per_bit(fcsd12, clock_mhz, 64, 64, 16) /
+                      pm::energy_per_bit(flex12, clock_mhz, 64, 32, 16);
+  const double r12b = pm::energy_per_bit(fcsd12, clock_mhz, 64, 4096, 32) /
+                      pm::energy_per_bit(flex12, clock_mhz, 64, 128, 32);
+  std::printf("  Nt=8,  L=1: FCSD needs %.2fx the J/bit (paper: ~1.54x)\n", r8);
+  std::printf("  Nt=12, L=1: FCSD needs %.2fx the J/bit\n", r12a);
+  std::printf("  Nt=12, L=2: FCSD needs %.2fx the J/bit (paper: up to 28.8x)\n",
+              r12b);
+  return 0;
+}

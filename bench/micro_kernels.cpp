@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) of the kernels on the critical path:
+// QR decompositions, pre-processing, LUT lookup, single-path walk, Viterbi.
+#include <benchmark/benchmark.h>
+
+#include "channel/channel.h"
+#include "coding/convolutional.h"
+#include "core/flexcore_detector.h"
+#include "core/ordering_lut.h"
+#include "core/preprocessing.h"
+#include "linalg/qr.h"
+
+namespace ch = flexcore::channel;
+namespace fc = flexcore::core;
+namespace fl = flexcore::linalg;
+using flexcore::modulation::Constellation;
+
+namespace {
+
+fl::CMat channel_12x12() {
+  ch::Rng rng(1);
+  return ch::rayleigh_iid(12, 12, rng);
+}
+
+void BM_QrMgs(benchmark::State& state) {
+  const auto h = channel_12x12();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fl::qr_mgs(h));
+  }
+}
+BENCHMARK(BM_QrMgs);
+
+void BM_SortedQrWubben(benchmark::State& state) {
+  const auto h = channel_12x12();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fl::sorted_qr_wubben(h));
+  }
+}
+BENCHMARK(BM_SortedQrWubben);
+
+void BM_FcsdSortedQr(benchmark::State& state) {
+  const auto h = channel_12x12();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fl::fcsd_sorted_qr(h, 1));
+  }
+}
+BENCHMARK(BM_FcsdSortedQr);
+
+void BM_Preprocessing(benchmark::State& state) {
+  Constellation qam(64);
+  const auto h = channel_12x12();
+  const auto qr = fl::sorted_qr_wubben(h);
+  fc::PreprocessingConfig cfg;
+  cfg.num_paths = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fc::find_most_promising_paths(qr.R, 0.02, qam, cfg));
+  }
+  state.SetLabel("N_PE=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_Preprocessing)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_LutLookup(benchmark::State& state) {
+  Constellation qam(64);
+  fc::OrderingLut lut(qam);
+  ch::Rng rng(2);
+  const fl::cplx z{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  int k = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lut.kth_symbol(z, 1 + (k++ % 8)));
+  }
+}
+BENCHMARK(BM_LutLookup);
+
+void BM_ExactKthNearest(benchmark::State& state) {
+  Constellation qam(64);
+  ch::Rng rng(2);
+  const fl::cplx z{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  int k = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qam.kth_nearest_exact(z, 1 + (k++ % 8)));
+  }
+}
+BENCHMARK(BM_ExactKthNearest);
+
+void BM_FlexCorePathWalk(benchmark::State& state) {
+  Constellation qam(64);
+  fc::FlexCoreConfig cfg;
+  cfg.num_pes = 128;
+  fc::FlexCoreDetector det(qam, cfg);
+  const auto h = channel_12x12();
+  const double nv = 0.02;
+  det.set_channel(h, nv);
+  ch::Rng rng(3);
+  fl::CVec s(12, qam.point(0));
+  const auto y = ch::transmit(h, s, nv, rng);
+  const auto ybar = det.rotate(y);
+  std::size_t p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.path_metric(ybar, p));
+    p = (p + 1) % det.active_paths();
+  }
+}
+BENCHMARK(BM_FlexCorePathWalk);
+
+void BM_FlexCoreSetChannel(benchmark::State& state) {
+  Constellation qam(64);
+  fc::FlexCoreConfig cfg;
+  cfg.num_pes = 128;
+  fc::FlexCoreDetector det(qam, cfg);
+  const auto h = channel_12x12();
+  for (auto _ : state) {
+    det.set_channel(h, 0.02);
+    benchmark::DoNotOptimize(det.active_paths());
+  }
+}
+BENCHMARK(BM_FlexCoreSetChannel);
+
+void BM_ViterbiDecode(benchmark::State& state) {
+  ch::Rng rng(4);
+  flexcore::coding::BitVec info(1152);
+  for (auto& b : info) b = rng.bit();
+  const auto coded = flexcore::coding::conv_encode(info);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flexcore::coding::viterbi_decode(coded));
+  }
+}
+BENCHMARK(BM_ViterbiDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

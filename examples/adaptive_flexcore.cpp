@@ -1,0 +1,70 @@
+// a-FlexCore demo: complexity that adapts to channel conditions.
+//
+// The adaptive variant activates only as many processing elements as needed
+// for the cumulative path probability to reach a threshold (0.95 in the
+// paper's Fig. 10).  This example sweeps AP load (number of simultaneous
+// users) and SNR, showing how the active-PE count shrinks to ~1 on easy
+// channels — linear-detector complexity — and grows automatically as the
+// channel hardens.
+#include <cstdio>
+
+#include "channel/trace.h"
+#include "core/flexcore_detector.h"
+
+using namespace flexcore;
+
+namespace {
+
+double average_active_pes(std::size_t users, std::size_t antennas,
+                          double snr_db, std::size_t num_channels) {
+  modulation::Constellation qam(64);
+  core::FlexCoreConfig cfg;
+  cfg.num_pes = 64;
+  cfg.adaptive_threshold = 0.95;
+  core::FlexCoreDetector det(qam, cfg);
+
+  channel::TraceConfig tcfg;
+  tcfg.nr = antennas;
+  tcfg.nt = users;
+  channel::TraceGenerator gen(tcfg, 1234);
+  const double nv = channel::noise_var_for_snr_db(snr_db);
+
+  double total = 0.0;
+  std::size_t installs = 0;
+  for (std::size_t c = 0; c < num_channels; ++c) {
+    const auto trace = gen.next();
+    for (std::size_t f = 0; f < trace.per_subcarrier.size(); f += 8) {
+      det.set_channel(trace.per_subcarrier[f], nv);
+      total += static_cast<double>(det.active_paths());
+      ++installs;
+    }
+  }
+  return total / static_cast<double>(installs);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("a-FlexCore: average activated PEs (of 64 available, threshold "
+              "0.95)\n12-antenna AP, 64-QAM, averaged over synthetic "
+              "traces\n\n");
+
+  std::printf("%-18s", "users \\ SNR (dB)");
+  for (double snr : {14.0, 17.0, 20.0, 24.0}) std::printf(" %-9.0f", snr);
+  std::printf("\n--------------------------------------------------------\n");
+
+  for (std::size_t users = 6; users <= 12; users += 2) {
+    std::printf("%-18zu", users);
+    for (double snr : {14.0, 17.0, 20.0, 24.0}) {
+      std::printf(" %-9.2f", average_active_pes(users, 12, snr, 4));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nReading (paper Fig. 10): with few users or high SNR the "
+              "channel is well-conditioned\nand a-FlexCore runs with ~1 PE "
+              "(SIC-like complexity); at full load / low SNR it\nspends the "
+              "whole budget.  Complexity follows the channel, not the worst "
+              "case.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Full coded MIMO-OFDM uplink demo: eight users transmit convolutionally
+// coded 64-QAM packets over a frequency-selective synthetic channel to an
+// 8-antenna AP; the AP decodes them with a range of detectors and reports
+// packet error rate and network throughput — the paper's §5.1 methodology
+// end to end.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "channel/trace.h"
+#include "core/flexcore_detector.h"
+#include "detect/fcsd.h"
+#include "detect/kbest.h"
+#include "detect/linear.h"
+#include "detect/ml_sphere.h"
+#include "detect/sic.h"
+#include "detect/trellis.h"
+#include "sim/montecarlo.h"
+
+using namespace flexcore;
+
+int main() {
+  const std::size_t users = 8, antennas = 8;
+  const double snr_db = 16.0;
+  const std::size_t packets = 8;
+
+  sim::LinkConfig link;
+  link.qam_order = 64;
+  link.info_bits_per_user = 1152;
+
+  channel::TraceConfig trace;
+  trace.nr = antennas;
+  trace.nt = users;
+
+  const double noise_var = channel::noise_var_for_snr_db(snr_db);
+  modulation::Constellation qam(link.qam_order);
+
+  std::printf("Uplink: %zu users -> %zu-antenna AP, 64-QAM, rate-1/2 coded, "
+              "%.1f dB per-user SNR, %zu packets\n\n",
+              users, antennas, snr_db, packets);
+  std::printf("%-16s %-8s %-12s %-20s %-14s\n", "detector", "PEs", "avg PER",
+              "throughput (Mbit/s)", "tree nodes");
+
+  std::vector<std::unique_ptr<detect::Detector>> detectors;
+  detectors.push_back(
+      std::make_unique<detect::LinearDetector>(qam, detect::LinearKind::kMmse));
+  detectors.push_back(std::make_unique<detect::SicDetector>(qam));
+  detectors.push_back(std::make_unique<detect::TrellisDetector>(qam));
+  detectors.push_back(std::make_unique<detect::KBestDetector>(qam, 16));
+  detectors.push_back(std::make_unique<detect::FcsdDetector>(qam, 1));
+  for (std::size_t pes : {16u, 64u, 128u}) {
+    core::FlexCoreConfig cfg;
+    cfg.num_pes = pes;
+    detectors.push_back(std::make_unique<core::FlexCoreDetector>(qam, cfg));
+  }
+  detect::MlSphereDecoder::Options mlo;
+  mlo.max_nodes = 100000;
+  detectors.push_back(std::make_unique<detect::MlSphereDecoder>(qam, mlo));
+
+  for (auto& det : detectors) {
+    const auto r =
+        sim::measure_throughput(*det, link, trace, noise_var, packets, 7);
+    std::printf("%-16s %-8zu %-12.3f %-20.1f %llu\n", det->name().c_str(),
+                det->parallel_tasks(), r.avg_per, r.throughput_mbps,
+                static_cast<unsigned long long>(r.stats.nodes_visited));
+  }
+
+  std::printf("\nNotes: FlexCore spans arbitrary PE budgets; the FCSD only "
+              "exists at 64/4096 paths;\nK-best and the trellis detector "
+              "carry fixed parallelism; MMSE collapses at Nt = Nr.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Pilot-based channel and noise estimation.
+//
+// The paper's over-the-air evaluation performs "all necessary estimation
+// and synchronisation steps (e.g., channel estimation)" (§5.1), and §3.1
+// notes FlexCore's pre-processing consumes exactly those channel estimates
+// ("FlexCore will then leverage these estimates to recalculate the most
+// promising paths").  This module provides the standard least-squares
+// estimator the testbed flow implies:
+//
+//  * each user transmits `repeats` known pilot vectors in time-orthogonal
+//    slots (user u alone in slot u of each repetition — the classic
+//    sounding schedule for uplink MU-MIMO);
+//  * H-hat columns are averaged LS estimates per user;
+//  * the noise variance is estimated from the pilot residuals.
+//
+// The ablation bench `ablation_channel_estimation` measures how estimation
+// error propagates into FlexCore's path choice and throughput.
+#pragma once
+
+#include <cstddef>
+
+#include "channel/channel.h"
+
+namespace flexcore::channel {
+
+/// Result of sounding one subcarrier.
+struct ChannelEstimate {
+  CMat h_hat;             ///< estimated Nr x Nt channel
+  double noise_var_hat;   ///< estimated per-antenna noise variance
+  std::size_t pilots_used;
+};
+
+/// Known pilot amplitude (unit energy, fixed phase) transmitted by each
+/// user during its sounding slot.
+inline constexpr cplx kPilotSymbol{1.0, 0.0};
+
+/// Sounds the channel `h` with `repeats` rounds of time-orthogonal unit
+/// pilots per user and returns the LS estimate.  `noise_var` is the true
+/// channel noise used to synthesize the received pilots; the estimator
+/// does not see it (it reports its own noise_var_hat).
+ChannelEstimate estimate_channel(const CMat& h, double noise_var,
+                                 std::size_t repeats, Rng& rng);
+
+/// Per-entry mean squared error between an estimate and the true channel
+/// (the usual estimator quality figure, ~ noise_var / repeats for LS).
+double estimation_mse(const CMat& h, const CMat& h_hat);
+
+}  // namespace flexcore::channel

@@ -1,0 +1,48 @@
+// Deterministic random number generation for reproducible experiments.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "linalg/types.h"
+
+namespace flexcore::channel {
+
+/// Thin, seedable wrapper around std::mt19937_64 producing the sample types
+/// the simulator needs.  Every experiment harness owns its own Rng with an
+/// explicit seed so results are bit-reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_(seed) {}
+
+  /// Standard real Gaussian N(0, 1).
+  double gaussian() { return normal_(gen_); }
+
+  /// Circularly-symmetric complex Gaussian CN(0, var).
+  linalg::cplx cgaussian(double var = 1.0) {
+    const double s = std::sqrt(var / 2.0);
+    return {s * normal_(gen_), s * normal_(gen_)};
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return lo + (hi - lo) * unif_(gen_);
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(gen_);
+  }
+
+  /// Fair coin / random bit.
+  std::uint8_t bit() { return static_cast<std::uint8_t>(gen_() & 1u); }
+
+  std::mt19937_64& engine() noexcept { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+  std::normal_distribution<double> normal_{0.0, 1.0};
+  std::uniform_real_distribution<double> unif_{0.0, 1.0};
+};
+
+}  // namespace flexcore::channel

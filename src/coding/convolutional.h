@@ -1,0 +1,37 @@
+// 802.11 rate-1/2 convolutional code (K = 7, generators 133/171 octal).
+//
+// The paper's throughput evaluation (§5.1) transmits packets "with the 1/2
+// rate convolutional coding of the 802.11 standard"; this module provides
+// that encoder and a Viterbi decoder (hard- and soft-input).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace flexcore::coding {
+
+using BitVec = std::vector<std::uint8_t>;
+
+/// Code parameters of the 802.11 mandatory convolutional code.
+struct ConvCode {
+  static constexpr int kConstraint = 7;          ///< K
+  static constexpr int kNumStates = 1 << (kConstraint - 1);
+  static constexpr std::uint32_t kG0 = 0133;     ///< generator A (octal)
+  static constexpr std::uint32_t kG1 = 0171;     ///< generator B (octal)
+};
+
+/// Encodes `info` at rate 1/2, appending K-1 = 6 tail zeros to terminate the
+/// trellis.  Output length = 2 * (info.size() + 6).
+BitVec conv_encode(const BitVec& info);
+
+/// Hard-decision Viterbi decoding (Hamming branch metric).  `coded` must
+/// come from conv_encode (terminated trellis); returns the info bits
+/// (tail removed).  Throws std::invalid_argument on odd-length input.
+BitVec viterbi_decode(const BitVec& coded);
+
+/// Soft-decision Viterbi decoding.  `llrs` holds one log-likelihood ratio
+/// per coded bit, positive meaning "bit = 0 more likely" (the usual LLR sign
+/// convention); metric is correlation-based.
+BitVec viterbi_decode_soft(const std::vector<double>& llrs);
+
+}  // namespace flexcore::coding

@@ -1,0 +1,134 @@
+// The FlexCore parallel detector (paper §3.2): evaluate the pre-selected
+// most-promising tree paths, one processing element per path, and return
+// the minimum-distance candidate.
+//
+// This class is the library's primary public API.  Usage:
+//
+//   Constellation qam(64);
+//   FlexCoreDetector det(qam, {.num_pes = 128});
+//   det.set_channel(H, noise_var);        // QR + pre-processing
+//   DetectionResult r = det.detect(y);    // parallel-friendly path walk
+//
+// The per-path work (evaluate_path) is pure and thread-safe, so callers can
+// fan the paths out across any execution resource; detect() runs them
+// sequentially, and sim::ParallelDetectionEngine maps them onto a thread
+// pool the way the paper maps them onto GPU threads / FPGA engines.
+#pragma once
+
+#include <optional>
+
+#include "core/ordering_lut.h"
+#include "core/preprocessing.h"
+#include "detect/detector.h"
+#include "linalg/qr.h"
+
+namespace flexcore::core {
+
+using detect::DetectionResult;
+using detect::DetectionStats;
+using detect::Detector;
+using linalg::CMat;
+using linalg::CVec;
+
+/// How the k-th closest symbol is located during the path walk.
+enum class OrderingMode {
+  kLut,        ///< triangle LUT (the paper's design; no sorting)
+  kExactSort,  ///< exhaustive per-level sort (ablation / upper bound)
+};
+
+/// FlexCore configuration.
+struct FlexCoreConfig {
+  /// Available processing elements = paths selected by pre-processing.
+  std::size_t num_pes = 64;
+  /// If > 0, run as a-FlexCore: activate only the first paths whose
+  /// cumulative Pc reaches this threshold (0.95 in the paper's Fig. 10).
+  double adaptive_threshold = 0.0;
+  /// Per-level error-probability model (DESIGN.md "Eq. 4 prefactor").
+  /// Default kExactSer: the SER-calibrated model the paper's Appendix
+  /// validates in Fig. 14.  kPaperErfc (Eq. 4 exactly as printed, which
+  /// drops the constellation minimum-distance factor) is kept as an
+  /// ablation; it degenerates the path allocation for dense constellations.
+  modulation::PeModel pe_model = modulation::PeModel::kExactSer;
+  OrderingMode ordering = OrderingMode::kLut;
+  InvalidEntryPolicy invalid_policy = InvalidEntryPolicy::kDeactivate;
+  LutSource lut_source = LutSource::kCentroid;
+  /// Candidate-list cap for pre-processing (0 = num_pes, the paper's rule).
+  std::size_t candidate_list_cap = 0;
+  /// Pre-processing nodes expanded per round (1 = sequential).
+  std::size_t batch_expand = 1;
+};
+
+/// Soft-output extension (§7 "promising next step"): max-log LLRs computed
+/// from the evaluated path list.
+struct SoftOutput {
+  /// llrs[a][b] = LLR of bit b of antenna a (original antenna order),
+  /// positive = bit 0 more likely.  Clipped to +-`kLlrClip` when only one
+  /// hypothesis appears in the candidate list.
+  std::vector<std::vector<double>> llrs;
+  DetectionResult hard;  ///< the ordinary hard decision
+  static constexpr double kLlrClip = 50.0;
+};
+
+class FlexCoreDetector : public Detector {
+ public:
+  FlexCoreDetector(const Constellation& c, FlexCoreConfig cfg);
+
+  void set_channel(const CMat& h, double noise_var) override;
+  DetectionResult detect(const CVec& y) const override;
+  std::string name() const override;
+  std::size_t parallel_tasks() const override { return active_paths(); }
+
+  /// Number of paths actually evaluated per vector: |E| for plain FlexCore,
+  /// the adaptive prefix size for a-FlexCore.
+  std::size_t active_paths() const;
+
+  /// Cumulative model probability of the active path set.
+  double active_pc_sum() const;
+
+  /// Pre-processing output for the current channel (selected position
+  /// vectors, Pe values, multiplication counts).
+  const PreprocessingResult& preprocessing() const { return preproc_; }
+
+  /// Rotates y into tree-search coordinates (ybar = Q^H y).
+  CVec rotate(const CVec& y) const { return qr_.Q.hermitian() * y; }
+
+  /// Result of walking one path; `valid` is false when a LUT entry pointed
+  /// outside the constellation and the policy deactivated the PE.
+  struct PathEval {
+    bool valid = false;
+    double metric = 0.0;
+    std::vector<int> symbols;  // tree (permuted) order
+    DetectionStats stats;
+  };
+
+  /// Walks path `path_index` (into preprocessing().paths); thread-safe.
+  PathEval evaluate_path(const CVec& ybar, std::size_t path_index) const;
+
+  /// Metric-only path walk for the hot loop of the parallel engine: no
+  /// allocation, no instrumentation.  Returns +infinity for deactivated
+  /// paths.  Requires Nt <= 32.
+  double path_metric(const CVec& ybar, std::size_t path_index) const;
+
+  /// Hard detection + list-based max-log LLRs (soft extension).
+  SoftOutput detect_soft(const CVec& y) const;
+
+  const linalg::QrResult& qr() const noexcept { return qr_; }
+  const FlexCoreConfig& config() const noexcept { return cfg_; }
+  const Constellation& constellation() const noexcept { return *constellation_; }
+  const OrderingLut& lut() const noexcept { return lut_; }
+
+ private:
+  DetectionResult reduce(const CVec& ybar, std::vector<PathEval>* keep_all) const;
+
+  const Constellation* constellation_;
+  FlexCoreConfig cfg_;
+  OrderingLut lut_;
+  linalg::QrResult qr_;
+  PreprocessingResult preproc_;
+  std::size_t active_paths_ = 0;
+  double noise_var_ = 1.0;
+  CVec r_diag_inv_;        // 1 / R(i,i)
+  std::vector<CVec> rx_;   // rx_[i][x] = R(i,i) * point(x)
+};
+
+}  // namespace flexcore::core

@@ -1,0 +1,132 @@
+#include "core/ordering_lut.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <random>
+
+namespace flexcore::core {
+
+namespace {
+// Canonical triangle t1: residuals (u, v) with 0 <= v <= u <= h, where
+// h = half the slicer square side = constellation scale.
+}  // namespace
+
+OrderingLut::OrderingLut(const Constellation& c, LutSource source,
+                         int mc_samples, std::uint64_t seed)
+    : c_(&c) {
+  base_ = (source == LutSource::kCentroid)
+              ? build_centroid_order()
+              : build_monte_carlo_order(mc_samples, seed);
+}
+
+std::vector<OrderingLut::Offset> OrderingLut::order_for_point(double u,
+                                                              double v) const {
+  // Candidate offsets within a window that is guaranteed to contain the |Q|
+  // nearest lattice points (window (2*side+1)^2 >= 4*|Q| entries).
+  const int side = c_->side();
+  const double step = c_->min_distance();
+  struct Cand {
+    double d2;
+    Offset off;
+  };
+  std::vector<Cand> cands;
+  cands.reserve(static_cast<std::size_t>((2 * side + 1) * (2 * side + 1)));
+  for (int di = -side; di <= side; ++di) {
+    for (int dq = -side; dq <= side; ++dq) {
+      const double dx = di * step - u;
+      const double dy = dq * step - v;
+      cands.push_back(Cand{dx * dx + dy * dy,
+                           Offset{static_cast<std::int8_t>(di),
+                                  static_cast<std::int8_t>(dq)}});
+    }
+  }
+  std::stable_sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    if (a.d2 != b.d2) return a.d2 < b.d2;
+    if (a.off.di != b.off.di) return a.off.di < b.off.di;
+    return a.off.dq < b.off.dq;
+  });
+  std::vector<Offset> order(static_cast<std::size_t>(c_->order()));
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = cands[k].off;
+  return order;
+}
+
+std::vector<OrderingLut::Offset> OrderingLut::build_centroid_order() const {
+  // Centroid of the triangle with vertices (0,0), (h,0), (h,h).
+  const double h = c_->scale();
+  return order_for_point(2.0 * h / 3.0, h / 3.0);
+}
+
+std::vector<OrderingLut::Offset> OrderingLut::build_monte_carlo_order(
+    int samples, std::uint64_t seed) const {
+  const double h = c_->scale();
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+
+  std::map<std::vector<std::int16_t>, int> histogram;
+  for (int s = 0; s < samples; ++s) {
+    // Uniform sample in t1: u in [0,h], v in [0,u] via rejection-free warp.
+    const double u = h * std::sqrt(unif(gen));
+    const double v = u * unif(gen);
+    const auto order = order_for_point(u, v);
+    std::vector<std::int16_t> key;
+    key.reserve(order.size());
+    for (const Offset& o : order) {
+      key.push_back(static_cast<std::int16_t>((o.di << 8) | (o.dq & 0xff)));
+    }
+    ++histogram[key];
+  }
+  // Most frequent order wins (ties broken by key order — deterministic).
+  const auto best = std::max_element(
+      histogram.begin(), histogram.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::vector<Offset> order;
+  order.reserve(best->first.size());
+  for (std::int16_t k : best->first) {
+    order.push_back(Offset{static_cast<std::int8_t>(k >> 8),
+                           static_cast<std::int8_t>(k & 0xff)});
+  }
+  return order;
+}
+
+int OrderingLut::kth_symbol(cplx z, int k, InvalidEntryPolicy policy) const {
+  const int side = c_->side();
+  const int ci = c_->unbounded_axis_index(z.real());
+  const int cq = c_->unbounded_axis_index(z.imag());
+  // Residual within the slicer square (pam_level's formula extends to
+  // out-of-range axis indices).
+  const double u = z.real() - (2.0 * ci - (side - 1)) * c_->scale();
+  const double v = z.imag() - (2.0 * cq - (side - 1)) * c_->scale();
+
+  // Identify the triangle: reflect (u, v) into t1 and remember the
+  // transform; lattice symmetry lets us apply the same transform to the
+  // stored offsets.
+  const bool flip_u = u < 0.0;
+  const bool flip_v = v < 0.0;
+  const double au = flip_u ? -u : u;
+  const double av = flip_v ? -v : v;
+  const bool swap_axes = av > au;
+
+  int found = 0;
+  for (const Offset& base : base_) {
+    int di = base.di;
+    int dq = base.dq;
+    if (swap_axes) std::swap(di, dq);
+    if (flip_u) di = -di;
+    if (flip_v) dq = -dq;
+    const int ai = ci + di;
+    const int aq = cq + dq;
+    const bool valid = c_->axes_in_range(ai, aq);
+    if (policy == InvalidEntryPolicy::kDeactivate) {
+      ++found;
+      if (found == k) return valid ? c_->index_from_axes(ai, aq) : -1;
+    } else {  // kSkipToValid
+      if (!valid) continue;
+      ++found;
+      if (found == k) return c_->index_from_axes(ai, aq);
+    }
+  }
+  return -1;
+}
+
+}  // namespace flexcore::core

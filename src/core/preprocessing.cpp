@@ -1,0 +1,143 @@
+#include "core/preprocessing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace flexcore::core {
+
+std::vector<double> level_error_probabilities(const linalg::CMat& r,
+                                              double noise_var,
+                                              const Constellation& c,
+                                              modulation::PeModel model) {
+  const std::size_t nt = r.cols();
+  std::vector<double> pe(nt);
+  for (std::size_t i = 0; i < nt; ++i) {
+    pe[i] = modulation::level_error_probability(model, c, std::abs(r(i, i)),
+                                                noise_var);
+  }
+  return pe;
+}
+
+namespace {
+
+/// Frontier node of the pre-processing tree.
+struct Node {
+  PositionVector p;
+  double pc;
+  int last_inc;  ///< 1-based element whose increment created this node
+};
+
+struct NodeGreater {
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.pc != b.pc) return a.pc > b.pc;
+    return a.p < b.p;  // deterministic tie-break
+  }
+};
+
+}  // namespace
+
+PreprocessingResult find_most_promising_paths(const linalg::CMat& r,
+                                              double noise_var,
+                                              const Constellation& c,
+                                              const PreprocessingConfig& cfg) {
+  if (cfg.num_paths == 0) {
+    throw std::invalid_argument("find_most_promising_paths: num_paths == 0");
+  }
+  const std::size_t nt = r.cols();
+  const int q = c.order();
+
+  PreprocessingResult out;
+  out.pe = level_error_probabilities(r, noise_var, c, cfg.pe_model);
+
+  // Root probability prod_l (1 - Pe(l)): Nt-1 multiplications.
+  double root_pc = 1.0;
+  for (double pe : out.pe) root_pc *= (1.0 - pe);
+  out.real_mults += nt >= 1 ? nt - 1 : 0;
+
+  const std::size_t cap =
+      cfg.candidate_list_cap == 0 ? cfg.num_paths : cfg.candidate_list_cap;
+  const std::size_t batch = std::max<std::size_t>(1, cfg.batch_expand);
+
+  // Frontier ordered by descending pc.  Sizes stay <= cap + Nt*batch.
+  std::multiset<Node, NodeGreater> frontier;
+  frontier.insert(Node{PositionVector(nt, 1), root_pc, static_cast<int>(nt)});
+
+  out.paths.reserve(cfg.num_paths);
+
+  while (!frontier.empty() && out.paths.size() < cfg.num_paths &&
+         out.pc_sum < cfg.stop_threshold) {
+    // Extract up to `batch` best frontier nodes for this round.
+    std::vector<Node> round;
+    for (std::size_t b = 0; b < batch && !frontier.empty(); ++b) {
+      auto it = frontier.begin();
+      round.push_back(*it);
+      frontier.erase(it);
+    }
+
+    for (Node& node : round) {
+      if (out.paths.size() >= cfg.num_paths || out.pc_sum >= cfg.stop_threshold) {
+        break;
+      }
+      out.pc_sum += node.pc;
+      ++out.nodes_expanded;
+
+      // Children: increment element w for w in [1, last_inc]; the dedup rule
+      // of §3.1.1 means larger elements are never incremented again.
+      for (int w = 1; w <= node.last_inc; ++w) {
+        int& entry = node.p[static_cast<std::size_t>(w - 1)];
+        if (entry >= q) continue;  // rank cannot exceed |Q|
+        ++entry;
+        const double child_pc = node.pc * out.pe[static_cast<std::size_t>(w - 1)];
+        ++out.real_mults;
+        frontier.insert(Node{node.p, child_pc, w});
+        --entry;
+      }
+
+      out.paths.push_back(RankedPath{std::move(node.p), node.pc});
+    }
+
+    // Trim the candidate list to its capacity (drop lowest pc).
+    while (frontier.size() > cap) {
+      frontier.erase(std::prev(frontier.end()));
+    }
+  }
+  return out;
+}
+
+std::vector<RankedPath> rank_paths_exhaustive(const std::vector<double>& pe,
+                                              int constellation_order,
+                                              std::size_t nt,
+                                              std::size_t num_paths) {
+  const std::uint64_t q = static_cast<std::uint64_t>(constellation_order);
+  double total_d = static_cast<double>(nt) * std::log2(static_cast<double>(q));
+  if (total_d > 24) {
+    throw std::invalid_argument("rank_paths_exhaustive: search space too large");
+  }
+  std::uint64_t total = 1;
+  for (std::size_t i = 0; i < nt; ++i) total *= q;
+
+  std::vector<RankedPath> all;
+  all.reserve(total);
+  for (std::uint64_t code = 0; code < total; ++code) {
+    PositionVector p(nt);
+    std::uint64_t v = code;
+    double pc = 1.0;
+    for (std::size_t i = 0; i < nt; ++i) {
+      const int k = static_cast<int>(v % q) + 1;
+      v /= q;
+      p[i] = k;
+      pc *= (1.0 - pe[i]) * std::pow(pe[i], k - 1);
+    }
+    all.push_back(RankedPath{std::move(p), pc});
+  }
+  std::sort(all.begin(), all.end(), [](const RankedPath& a, const RankedPath& b) {
+    if (a.pc != b.pc) return a.pc > b.pc;
+    return a.p < b.p;
+  });
+  if (all.size() > num_paths) all.resize(num_paths);
+  return all;
+}
+
+}  // namespace flexcore::core

@@ -1,0 +1,97 @@
+// FlexCore pre-processing: find the N_PE most promising sphere-decoder paths.
+//
+// This implements §3.1 of the paper.  A tree path is identified by a
+// *position vector* p: p(l) = k means "at tree level l, take the k-th
+// closest constellation point to the effective received point".  Because
+// the identification is relative to the (future) received signal, path
+// ranking can happen a priori, from the channel (R) and noise power alone.
+//
+// The ranking model (Eqs. 2-4, Appendix):
+//   Pc(p)    ~ prod_l Pl(p(l))
+//   Pl(k)    = (1 - Pe(l)) * Pe(l)^(k-1)          (geometric in k)
+//   Pe(l)    = per-level first-point error probability (see PeModel)
+//
+// The N_PE best position vectors are found with a best-first search over
+// the pre-processing tree (Fig. 5): the root is [1,1,...,1]; the w-th child
+// of a node increments p(w); a node created by incrementing element l only
+// expands children w <= l (this makes every position vector reachable
+// exactly once); a bounded candidate list L of size N_PE holds the frontier.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "modulation/constellation.h"
+#include "modulation/error_rates.h"
+
+namespace flexcore::core {
+
+using modulation::Constellation;
+
+/// A position vector: entry i (0-based array index, tree level i+1) is the
+/// 1-based closeness rank of the constellation point chosen at that level.
+using PositionVector = std::vector<int>;
+
+/// One ranked tree path.
+struct RankedPath {
+  PositionVector p;
+  double pc = 0.0;  ///< model probability that this path holds the solution
+};
+
+/// Pre-processing options.
+struct PreprocessingConfig {
+  /// Number of paths to emit (N_PE, the available processing elements).
+  std::size_t num_paths = 64;
+  /// Early-stop once the cumulative Pc of the emitted set reaches this
+  /// value (a-FlexCore uses 0.95; 1.0 disables the criterion since the
+  /// total probability over all paths is < 1).
+  double stop_threshold = 1.0;
+  /// Analytic model for Pe(l).  kExactSer is the calibrated model the
+  /// paper's Fig. 14 validates; see DESIGN.md "Eq. 4 prefactor".
+  modulation::PeModel pe_model = modulation::PeModel::kExactSer;
+  /// Candidate-list capacity; 0 = num_paths (the paper's rule).  Larger
+  /// values trade memory for an exactly-optimal frontier (ablation).
+  std::size_t candidate_list_cap = 0;
+  /// Nodes expanded per round.  1 = the paper's sequential traversal;
+  /// larger values model the parallel expansion of §3.1.1, which the paper
+  /// reports is loss-free while num_paths / batch_expand >= 10.
+  std::size_t batch_expand = 1;
+};
+
+/// Pre-processing output.
+struct PreprocessingResult {
+  /// Selected paths in emission order (non-increasing pc for batch_expand=1).
+  std::vector<RankedPath> paths;
+  /// Sum of pc over `paths`.
+  double pc_sum = 0.0;
+  /// Per-level error probabilities Pe(l), array index = level-1.
+  std::vector<double> pe;
+  /// Real multiplications spent (Table 2 accounting: one multiply per child
+  /// probability update, Nt-1 for the root).
+  std::uint64_t real_mults = 0;
+  /// Number of tree nodes expanded.
+  std::uint64_t nodes_expanded = 0;
+};
+
+/// Computes the per-level error probabilities Pe(l) from the diagonal of R.
+std::vector<double> level_error_probabilities(const linalg::CMat& r,
+                                              double noise_var,
+                                              const Constellation& c,
+                                              modulation::PeModel model);
+
+/// Runs the pre-processing tree search of §3.1.1.
+PreprocessingResult find_most_promising_paths(const linalg::CMat& r,
+                                              double noise_var,
+                                              const Constellation& c,
+                                              const PreprocessingConfig& cfg);
+
+/// Reference implementation for tests: enumerate *all* |Q|^Nt position
+/// vectors, rank by Pc, return the top `num_paths`.  Exponential; only for
+/// tiny problems.
+std::vector<RankedPath> rank_paths_exhaustive(const std::vector<double>& pe,
+                                              int constellation_order,
+                                              std::size_t nt,
+                                              std::size_t num_paths);
+
+}  // namespace flexcore::core

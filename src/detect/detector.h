@@ -1,0 +1,76 @@
+// Common interface of all MIMO detectors in this library.
+//
+// A detector consumes one received vector y (one OFDM subcarrier of one
+// MIMO-OFDM symbol) and produces hard symbol decisions for all Nt transmit
+// streams.  Channel-dependent work (QR decompositions, FlexCore
+// pre-processing, filter matrices) happens once in set_channel and is reused
+// for every y until the channel changes — mirroring the paper's split
+// between per-channel pre-processing and per-vector detection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "modulation/constellation.h"
+
+namespace flexcore::detect {
+
+using linalg::CMat;
+using linalg::CVec;
+using linalg::cplx;
+using modulation::Constellation;
+
+/// Instrumentation counters filled in by detectors.  `real_mults` uses the
+/// accounting of the paper's Table 2 (one complex multiply = 4 real
+/// multiplies); `flops` additionally counts additions (complex multiply =
+/// 6 flops, complex add = 2 flops) for the Table 1 reproduction.
+struct DetectionStats {
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t real_mults = 0;
+  std::uint64_t flops = 0;
+  std::uint64_t paths_evaluated = 0;
+
+  DetectionStats& operator+=(const DetectionStats& o) {
+    nodes_visited += o.nodes_visited;
+    real_mults += o.real_mults;
+    flops += o.flops;
+    paths_evaluated += o.paths_evaluated;
+    return *this;
+  }
+};
+
+/// Hard detection output.
+struct DetectionResult {
+  /// Detected symbol index per transmit antenna, in the ORIGINAL antenna
+  /// order (any internal column sorting is undone before returning).
+  std::vector<int> symbols;
+  /// Euclidean distance ||y - H s_hat||^2 of the selected hypothesis in the
+  /// detector's internal (QR-rotated) coordinates.
+  double metric = 0.0;
+  DetectionStats stats;
+};
+
+/// Abstract MIMO detector.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Installs a new channel.  `noise_var` is the per-receive-antenna complex
+  /// noise variance (Es = 1 constellations assumed).
+  virtual void set_channel(const CMat& h, double noise_var) = 0;
+
+  /// Detects one received vector.  Requires a prior set_channel call.
+  virtual DetectionResult detect(const CVec& y) const = 0;
+
+  /// Short identifier used in benchmark tables ("flexcore", "fcsd-L2", ...).
+  virtual std::string name() const = 0;
+
+  /// Number of parallel tasks (processing elements at minimum latency) this
+  /// detector spreads one vector's detection across.  1 for sequential
+  /// detectors.
+  virtual std::size_t parallel_tasks() const { return 1; }
+};
+
+}  // namespace flexcore::detect

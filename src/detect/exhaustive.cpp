@@ -1,0 +1,47 @@
+#include "detect/exhaustive.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace flexcore::detect {
+
+DetectionResult exhaustive_ml(const Constellation& c, const CMat& h,
+                              const CVec& y, std::uint64_t max_hypotheses) {
+  const std::size_t nt = h.cols();
+  const std::uint64_t q = static_cast<std::uint64_t>(c.order());
+  double total_d = static_cast<double>(nt) * std::log2(static_cast<double>(q));
+  if (total_d > 63 ||
+      std::pow(static_cast<double>(q), static_cast<double>(nt)) >
+          static_cast<double>(max_hypotheses)) {
+    throw std::invalid_argument("exhaustive_ml: search space too large");
+  }
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(std::llround(std::pow(static_cast<double>(q),
+                                                       static_cast<double>(nt))));
+
+  DetectionResult best;
+  best.metric = std::numeric_limits<double>::infinity();
+  std::vector<int> sym(nt);
+  CVec s(nt);
+
+  for (std::uint64_t code = 0; code < total; ++code) {
+    std::uint64_t v = code;
+    for (std::size_t i = 0; i < nt; ++i) {
+      sym[i] = static_cast<int>(v % q);
+      v /= q;
+      s[i] = c.point(sym[i]);
+    }
+    const CVec r = linalg::sub(y, h * s);
+    const double m = linalg::norm2(r);
+    ++best.stats.nodes_visited;
+    if (m < best.metric) {
+      best.metric = m;
+      best.symbols = sym;
+    }
+  }
+  best.stats.paths_evaluated = total;
+  return best;
+}
+
+}  // namespace flexcore::detect

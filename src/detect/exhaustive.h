@@ -1,0 +1,19 @@
+// Brute-force maximum-likelihood detection (reference oracle for tests).
+//
+// Enumerates every one of the |Q|^Nt hypotheses.  Only usable for tiny
+// problems; the test suite uses it to certify that MlSphereDecoder, FCSD
+// with L = Nt, and FlexCore with all paths selected are exactly ML.
+#pragma once
+
+#include "detect/detector.h"
+
+namespace flexcore::detect {
+
+/// Returns the exact ML solution argmin_s ||y - H s||^2 by exhaustive
+/// search, with the winning metric.  Throws std::invalid_argument when the
+/// search space exceeds `max_hypotheses` (guard against accidental blowup).
+DetectionResult exhaustive_ml(const Constellation& c, const CMat& h,
+                              const CVec& y,
+                              std::uint64_t max_hypotheses = 1u << 22);
+
+}  // namespace flexcore::detect

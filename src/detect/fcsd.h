@@ -1,0 +1,62 @@
+// Fixed Complexity Sphere Decoder (Barbero & Thompson), the paper's main
+// competitor.
+//
+// The FCSD fully expands the top `full_levels` (L) tree levels — visiting
+// all |Q|^L combinations — and extends each combination greedily (branching
+// factor one, nearest child) through the remaining Nt - L levels.  All
+// |Q|^L paths are independent, so at minimum latency the FCSD needs exactly
+// |Q|^L processing elements: the inflexibility FlexCore removes (§2).
+#pragma once
+
+#include "detect/detector.h"
+#include "linalg/qr.h"
+
+namespace flexcore::detect {
+
+class FcsdDetector : public Detector {
+ public:
+  /// `full_levels` = L, the number of fully-expanded levels (1 or 2 in the
+  /// paper's evaluation).
+  FcsdDetector(const Constellation& c, std::size_t full_levels)
+      : constellation_(&c), full_levels_(full_levels) {}
+
+  void set_channel(const CMat& h, double noise_var) override;
+  DetectionResult detect(const CVec& y) const override;
+  std::string name() const override {
+    return "fcsd-L" + std::to_string(full_levels_);
+  }
+  std::size_t parallel_tasks() const override { return num_paths(); }
+
+  /// |Q|^L — the number of independent paths / required PEs.
+  std::size_t num_paths() const;
+  std::size_t full_levels() const noexcept { return full_levels_; }
+
+  /// Rotates a received vector into the tree-search domain (ybar = Q^H y).
+  CVec rotate(const CVec& y) const { return qr_.Q.hermitian() * y; }
+
+  /// Evaluation of a single FCSD path, the unit of parallel work.
+  struct PathEval {
+    double metric = 0.0;
+    std::vector<int> symbols;  // permuted (tree) order
+    DetectionStats stats;
+  };
+
+  /// Evaluates path `path_index` in [0, num_paths()): the base-|Q| digits of
+  /// the index select the symbols of the fully-expanded top levels.  Thread-
+  /// safe; used directly by the parallel engine benchmarks.
+  PathEval evaluate_path(const CVec& ybar, std::size_t path_index) const;
+
+  /// Metric-only path walk (no allocation / instrumentation) for the
+  /// parallel engine's hot loop.  Requires Nt <= 32.
+  double path_metric(const CVec& ybar, std::size_t path_index) const;
+
+  const linalg::QrResult& qr() const noexcept { return qr_; }
+
+ private:
+  const Constellation* constellation_;
+  std::size_t full_levels_;
+  linalg::QrResult qr_;
+  std::vector<CVec> rx_;  // rx_[i][x] = R(i,i) * point(x)
+};
+
+}  // namespace flexcore::detect

@@ -1,0 +1,33 @@
+#include "detect/linear.h"
+
+#include "linalg/solve.h"
+
+namespace flexcore::detect {
+
+void LinearDetector::set_channel(const CMat& h, double noise_var) {
+  h_ = h;
+  w_ = (kind_ == LinearKind::kZeroForcing) ? linalg::zf_filter(h)
+                                           : linalg::mmse_filter(h, noise_var);
+}
+
+DetectionResult LinearDetector::detect(const CVec& y) const {
+  const CVec x = w_ * y;
+  DetectionResult res;
+  res.symbols.resize(x.size());
+  CVec s_hat(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    res.symbols[i] = constellation_->slice(x[i]);
+    s_hat[i] = constellation_->point(res.symbols[i]);
+  }
+  // Report the true residual so linear results are comparable with
+  // tree-search metrics.
+  const CVec r = linalg::sub(y, h_ * s_hat);
+  res.metric = linalg::norm2(r);
+  res.stats.paths_evaluated = 1;
+  // Filter multiply: Nr*Nt complex mults.
+  res.stats.real_mults = 4 * w_.rows() * w_.cols();
+  res.stats.flops = 8 * w_.rows() * w_.cols();
+  return res;
+}
+
+}  // namespace flexcore::detect

@@ -1,0 +1,44 @@
+#include "detect/sic.h"
+
+namespace flexcore::detect {
+
+void SicDetector::set_channel(const CMat& h, double /*noise_var*/) {
+  qr_ = linalg::sorted_qr_wubben(h);
+}
+
+DetectionResult SicDetector::detect(const CVec& y) const {
+  const CMat& r = qr_.R;
+  const std::size_t nt = r.cols();
+  const CVec ybar = qr_.Q.hermitian() * y;
+
+  std::vector<int> detected(nt);
+  CVec s(nt);
+  double metric = 0.0;
+  DetectionStats stats;
+  stats.paths_evaluated = 1;
+
+  for (std::size_t ii = 0; ii < nt; ++ii) {
+    const std::size_t i = nt - 1 - ii;  // level i+1, detected top-down
+    cplx b = ybar[i];
+    for (std::size_t j = i + 1; j < nt; ++j) {
+      b -= r(i, j) * s[j];
+      stats.real_mults += 4;
+      stats.flops += 8;
+    }
+    const cplx eff = b / r(i, i);
+    detected[i] = constellation_->slice(eff);
+    s[i] = constellation_->point(detected[i]);
+    metric += linalg::abs2(b - r(i, i) * s[i]);
+    stats.real_mults += 4;
+    stats.flops += 11;  // complex mult + sub + abs2
+    ++stats.nodes_visited;
+  }
+
+  DetectionResult res;
+  res.symbols = linalg::unpermute(detected, qr_.perm);
+  res.metric = metric;
+  res.stats = stats;
+  return res;
+}
+
+}  // namespace flexcore::detect

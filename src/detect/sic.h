@@ -1,0 +1,27 @@
+// Ordered successive interference cancellation (V-BLAST style ZF-SIC).
+//
+// Uses the Wübben sorted QR so the most reliable stream is detected first;
+// each decision is cancelled before detecting the next stream.  The paper
+// uses SIC as the single-path reference point in Fig. 12 ("essentially a
+// single-path FlexCore").
+#pragma once
+
+#include "detect/detector.h"
+#include "linalg/qr.h"
+
+namespace flexcore::detect {
+
+class SicDetector : public Detector {
+ public:
+  explicit SicDetector(const Constellation& c) : constellation_(&c) {}
+
+  void set_channel(const CMat& h, double noise_var) override;
+  DetectionResult detect(const CVec& y) const override;
+  std::string name() const override { return "zf-sic"; }
+
+ private:
+  const Constellation* constellation_;
+  linalg::QrResult qr_;
+};
+
+}  // namespace flexcore::detect

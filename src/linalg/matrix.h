@@ -1,0 +1,94 @@
+// Dense row-major complex matrix for small MIMO dimensions.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+
+#include "linalg/types.h"
+
+namespace flexcore::linalg {
+
+/// Dense complex matrix (row-major).
+///
+/// Designed for the small, dense problems of MIMO baseband processing
+/// (channel matrices up to ~16x16).  All operations are bounds-asserted in
+/// debug builds; none allocate except where a new matrix is returned.
+class CMat {
+ public:
+  CMat() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  CMat(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, cplx{0.0, 0.0}) {}
+
+  /// Build from a nested initializer list: CMat{{a,b},{c,d}}.
+  CMat(std::initializer_list<std::initializer_list<cplx>> init);
+
+  /// Identity matrix of size n.
+  static CMat identity(std::size_t n);
+
+  /// Matrix whose diagonal is d and off-diagonal entries are zero.
+  static CMat diag(const CVec& d);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  cplx& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  cplx operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw storage access (row-major), for tight inner loops.
+  const cplx* data() const noexcept { return data_.data(); }
+  cplx* data() noexcept { return data_.data(); }
+
+  /// Extract column c as a vector.
+  CVec col(std::size_t c) const;
+  /// Extract row r as a vector.
+  CVec row(std::size_t r) const;
+  /// Overwrite column c.
+  void set_col(std::size_t c, const CVec& v);
+  /// Swap columns a and b in place.
+  void swap_cols(std::size_t a, std::size_t b);
+
+  /// Conjugate (Hermitian) transpose.
+  CMat hermitian() const;
+  /// Plain transpose (no conjugation).
+  CMat transpose() const;
+
+  CMat operator+(const CMat& o) const;
+  CMat operator-(const CMat& o) const;
+  CMat operator*(const CMat& o) const;
+  CVec operator*(const CVec& v) const;
+  CMat operator*(cplx s) const;
+
+  CMat& operator+=(const CMat& o);
+  CMat& operator-=(const CMat& o);
+
+  bool same_shape(const CMat& o) const noexcept {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Max |a_ij - b_ij| between two same-shape matrices.
+  static double max_abs_diff(const CMat& a, const CMat& b);
+
+  /// Human-readable dump (for diagnostics and test failure messages).
+  std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  CVec data_;
+};
+
+}  // namespace flexcore::linalg

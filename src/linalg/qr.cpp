@@ -1,0 +1,215 @@
+#include "linalg/qr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/solve.h"
+
+namespace flexcore::linalg {
+
+namespace {
+
+constexpr double kRankTol = 1e-12;
+
+// Shared MGS core: orthogonalizes the columns of `a` in the order chosen by
+// `pick_next`, which receives the current residual column norms (squared,
+// NaN for already-processed columns) and returns the column to process.
+template <typename PickFn>
+QrResult mgs_core(const CMat& h, PickFn pick_next) {
+  const std::size_t nr = h.rows();
+  const std::size_t nt = h.cols();
+  if (nr < nt) throw std::runtime_error("qr: requires rows >= cols");
+
+  CMat a = h;  // residual columns get overwritten in place
+  CMat q(nr, nt);
+  CMat r(nt, nt);
+  std::vector<std::size_t> perm(nt);
+  std::iota(perm.begin(), perm.end(), 0);
+
+  // norms2[j] tracks the squared residual norm of (current) column j.
+  std::vector<double> norms2(nt);
+  for (std::size_t j = 0; j < nt; ++j) norms2[j] = norm2(a.col(j));
+
+  for (std::size_t k = 0; k < nt; ++k) {
+    const std::size_t pick = pick_next(k, norms2);
+    if (pick != k) {
+      a.swap_cols(k, pick);
+      r.swap_cols(k, pick);  // swap already-computed rows' columns
+      std::swap(perm[k], perm[pick]);
+      std::swap(norms2[k], norms2[pick]);
+    }
+
+    CVec qk = a.col(k);
+    const double nrm = std::sqrt(norm2(qk));
+    if (nrm < kRankTol) throw std::runtime_error("qr: rank-deficient matrix");
+    r(k, k) = cplx{nrm, 0.0};
+    for (auto& z : qk) z /= nrm;
+    q.set_col(k, qk);
+
+    for (std::size_t j = k + 1; j < nt; ++j) {
+      CVec aj = a.col(j);
+      const cplx proj = dot(qk, aj);
+      r(k, j) = proj;
+      axpy(-proj, qk, aj);
+      a.set_col(j, aj);
+      // Cheap norm downdate (standard SQRD trick); re-deriving from the
+      // updated column avoids negative drift.
+      norms2[j] = std::max(0.0, norms2[j] - abs2(proj));
+    }
+    norms2[k] = std::numeric_limits<double>::quiet_NaN();
+  }
+  return QrResult{std::move(q), std::move(r), std::move(perm)};
+}
+
+}  // namespace
+
+QrResult qr_mgs(const CMat& h) {
+  return mgs_core(h, [](std::size_t k, const std::vector<double>&) {
+    return k;  // natural order
+  });
+}
+
+QrResult sorted_qr_wubben(const CMat& h) {
+  return mgs_core(h, [](std::size_t k, const std::vector<double>& norms2) {
+    std::size_t best = k;
+    for (std::size_t j = k + 1; j < norms2.size(); ++j) {
+      if (norms2[j] < norms2[best]) best = j;
+    }
+    return best;
+  });
+}
+
+QrResult qr_householder(const CMat& h) {
+  const std::size_t nr = h.rows();
+  const std::size_t nt = h.cols();
+  if (nr < nt) throw std::runtime_error("qr: requires rows >= cols");
+
+  CMat a = h;
+  CMat qfull = CMat::identity(nr);
+
+  for (std::size_t k = 0; k < nt; ++k) {
+    // Build Householder vector for column k, rows k..nr-1.
+    CVec x(nr - k);
+    for (std::size_t i = k; i < nr; ++i) x[i - k] = a(i, k);
+    const double xnorm = std::sqrt(norm2(x));
+    if (xnorm < kRankTol) throw std::runtime_error("qr: rank-deficient matrix");
+
+    // alpha = -e^{i arg(x0)} * ||x||  makes the pivot real and positive
+    // after reflection with the conventional sign choice.
+    const cplx x0 = x[0];
+    const double x0abs = std::abs(x0);
+    const cplx phase = (x0abs > 0) ? x0 / x0abs : cplx{1.0, 0.0};
+    const cplx alpha = -phase * xnorm;
+
+    CVec v = x;
+    v[0] -= alpha;
+    const double vnorm2 = norm2(v);
+    if (vnorm2 < kRankTol * kRankTol) continue;  // already triangular here
+
+    // Apply P = I - 2 v v^H / (v^H v) to A (rows k..) and accumulate into Q.
+    for (std::size_t j = k; j < nt; ++j) {
+      cplx s{0.0, 0.0};
+      for (std::size_t i = k; i < nr; ++i) s += std::conj(v[i - k]) * a(i, j);
+      s *= 2.0 / vnorm2;
+      for (std::size_t i = k; i < nr; ++i) a(i, j) -= s * v[i - k];
+    }
+    for (std::size_t j = 0; j < nr; ++j) {
+      cplx s{0.0, 0.0};
+      for (std::size_t i = k; i < nr; ++i) s += std::conj(v[i - k]) * qfull(i, j);
+      s *= 2.0 / vnorm2;
+      for (std::size_t i = k; i < nr; ++i) qfull(i, j) -= s * v[i - k];
+    }
+  }
+
+  // qfull currently holds P_{nt-1}...P_0, i.e. Q^H. Extract thin factors and
+  // normalize signs so that diag(R) is real positive (matches MGS).
+  CMat q(nr, nt);
+  CMat r(nt, nt);
+  for (std::size_t i = 0; i < nt; ++i)
+    for (std::size_t j = i; j < nt; ++j) r(i, j) = a(i, j);
+  for (std::size_t i = 0; i < nr; ++i)
+    for (std::size_t j = 0; j < nt; ++j) q(i, j) = std::conj(qfull(j, i));
+
+  for (std::size_t i = 0; i < nt; ++i) {
+    const cplx d = r(i, i);
+    const double dabs = std::abs(d);
+    if (dabs < kRankTol) throw std::runtime_error("qr: rank-deficient matrix");
+    const cplx ph = d / dabs;  // rotate row i of R and column i of Q
+    for (std::size_t j = i; j < nt; ++j) r(i, j) *= std::conj(ph);
+    for (std::size_t i2 = 0; i2 < nr; ++i2) q(i2, i) *= ph;
+  }
+
+  std::vector<std::size_t> perm(nt);
+  std::iota(perm.begin(), perm.end(), 0);
+  return QrResult{std::move(q), std::move(r), std::move(perm)};
+}
+
+QrResult fcsd_sorted_qr(const CMat& h, std::size_t full_levels) {
+  const std::size_t nt = h.cols();
+  if (full_levels > nt) {
+    throw std::invalid_argument("fcsd_sorted_qr: full_levels > Nt");
+  }
+
+  // Iteratively pick detection order. Iteration i selects the stream
+  // detected at tree level Nt-i (i.e. column nt-1-i of the permuted H).
+  std::vector<std::size_t> remaining(nt);
+  std::iota(remaining.begin(), remaining.end(), 0);
+  std::vector<std::size_t> order(nt);  // order[i] = original col detected i-th
+
+  for (std::size_t i = 0; i < nt; ++i) {
+    // Pseudo-inverse of the remaining channel: G = (Hr^H Hr)^-1 Hr^H.
+    // Noise amplification of stream j is the squared norm of G's row j.
+    CMat hr(h.rows(), remaining.size());
+    for (std::size_t j = 0; j < remaining.size(); ++j) {
+      hr.set_col(j, h.col(remaining[j]));
+    }
+    const CMat gram = hr.hermitian() * hr;
+    const CMat ginv = inverse(gram);
+    // row j of G = (ginv * Hr^H) has squared norm = (ginv * gram * ginv^H)_jj
+    // = ginv_jj for Hermitian gram; use the direct identity to avoid forming G.
+    std::size_t best = 0;
+    double best_amp = ginv(0, 0).real();
+    for (std::size_t j = 1; j < remaining.size(); ++j) {
+      const double amp = ginv(j, j).real();
+      const bool want_max = i < full_levels;
+      if (want_max ? (amp > best_amp) : (amp < best_amp)) {
+        best = j;
+        best_amp = amp;
+      }
+    }
+    order[i] = remaining[best];
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+
+  // Column nt-1-i of the permuted matrix is detected i-th.
+  std::vector<std::size_t> perm(nt);
+  for (std::size_t i = 0; i < nt; ++i) perm[nt - 1 - i] = order[i];
+
+  CMat hp(h.rows(), nt);
+  for (std::size_t j = 0; j < nt; ++j) hp.set_col(j, h.col(perm[j]));
+  QrResult qr = qr_mgs(hp);
+  qr.perm = perm;
+  return qr;
+}
+
+CVec solve_upper(const CMat& r, const CVec& y) {
+  const std::size_t n = r.cols();
+  assert(r.rows() == n && y.size() == n);
+  CVec x(n);
+  for (std::size_t ii = 0; ii < n; ++ii) {
+    const std::size_t i = n - 1 - ii;
+    cplx s = y[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= r(i, j) * x[j];
+    const cplx d = r(i, i);
+    if (std::abs(d) < kRankTol) {
+      throw std::runtime_error("solve_upper: singular diagonal");
+    }
+    x[i] = s / d;
+  }
+  return x;
+}
+
+}  // namespace flexcore::linalg

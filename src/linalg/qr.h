@@ -1,0 +1,68 @@
+// QR decompositions used by sphere-decoder-based MIMO detection.
+//
+// Three variants are provided:
+//  * qr_mgs / qr_householder : plain (unsorted) thin QR, H = Q R.
+//  * sorted_qr_wubben        : SQRD column ordering of Wübben et al. [13],
+//                              the standard ordering for SIC and FlexCore.
+//  * fcsd_sorted_qr          : the FCSD ordering of Barbero & Thompson [4],
+//                              which places the streams with the largest
+//                              noise amplification on the fully-expanded
+//                              (top) tree levels.
+//
+// Column permutations are reported so callers can map detected symbols back
+// to the original transmit-antenna order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace flexcore::linalg {
+
+/// Result of a (possibly column-sorted) QR decomposition.
+///
+/// The factorization satisfies  H(:, perm) = Q * R, i.e. column j of the
+/// permuted channel is the channel of the symbol detected at tree level j+1
+/// (levels are processed from Nt down to 1, so perm.back() is detected
+/// first).  For the plain decompositions perm is the identity.
+struct QrResult {
+  CMat Q;                         ///< Nr x Nt, orthonormal columns.
+  CMat R;                         ///< Nt x Nt, upper triangular.
+  std::vector<std::size_t> perm;  ///< permuted-col -> original-col map.
+};
+
+/// Thin QR via modified Gram-Schmidt.  Requires rows >= cols and full
+/// column rank; throws std::runtime_error on rank deficiency.
+QrResult qr_mgs(const CMat& h);
+
+/// Thin QR via Householder reflections (numerically more robust; used to
+/// cross-validate MGS in tests).
+QrResult qr_householder(const CMat& h);
+
+/// Sorted QR decomposition (SQRD) of Wübben et al.: at each Gram-Schmidt
+/// step pick the not-yet-processed column of minimum residual norm.  The
+/// resulting R tends to have ascending diagonal magnitudes, so detection
+/// (which walks levels Nt..1) sees the most reliable streams first.
+QrResult sorted_qr_wubben(const CMat& h);
+
+/// FCSD ordering of Barbero & Thompson: the `full_levels` streams with the
+/// *largest* post-detection noise amplification are assigned to the top
+/// (fully-expanded) tree levels; the remaining levels use the V-BLAST
+/// best-first rule (smallest noise amplification detected first).
+QrResult fcsd_sorted_qr(const CMat& h, std::size_t full_levels);
+
+/// Applies a permutation produced by a sorted QR to recover symbols in the
+/// original antenna order: out[perm[i]] = detected[i].
+template <typename T>
+std::vector<T> unpermute(const std::vector<T>& detected,
+                         const std::vector<std::size_t>& perm) {
+  std::vector<T> out(detected.size());
+  for (std::size_t i = 0; i < detected.size(); ++i) out[perm[i]] = detected[i];
+  return out;
+}
+
+/// Solves R x = y for upper-triangular R by back substitution.
+CVec solve_upper(const CMat& r, const CVec& y);
+
+}  // namespace flexcore::linalg

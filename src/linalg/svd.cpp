@@ -1,0 +1,77 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace flexcore::linalg {
+
+namespace {
+constexpr double kTol = 1e-14;
+constexpr int kMaxSweeps = 64;
+}  // namespace
+
+RVec singular_values(const CMat& a) {
+  // One-sided Jacobi: rotate column pairs of a working copy until all pairs
+  // are orthogonal; singular values are then the column norms.
+  CMat w = (a.rows() >= a.cols()) ? a : a.hermitian();
+  const std::size_t n = w.cols();
+  const std::size_t m = w.rows();
+
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Gram entries of the (p,q) column pair.
+        double app = 0.0, aqq = 0.0;
+        cplx apq{0.0, 0.0};
+        for (std::size_t i = 0; i < m; ++i) {
+          const cplx u = w(i, p), v = w(i, q);
+          app += abs2(u);
+          aqq += abs2(v);
+          apq += std::conj(u) * v;
+        }
+        const double offmag = std::abs(apq);
+        if (offmag <= kTol * std::sqrt(app * aqq) || offmag == 0.0) continue;
+        converged = false;
+
+        // Complex Jacobi rotation zeroing u^H v (see tests for the
+        // orthogonality property this enforces).
+        const cplx alpha = apq / offmag;
+        const double zeta = (aqq - app) / (2.0 * offmag);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        const cplx alpha_conj = std::conj(alpha);
+        for (std::size_t i = 0; i < m; ++i) {
+          const cplx u = w(i, p), v = w(i, q);
+          w(i, p) = c * u - s * alpha_conj * v;
+          w(i, q) = s * alpha * u + c * v;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  RVec sv(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double s2 = 0.0;
+    for (std::size_t i = 0; i < m; ++i) s2 += abs2(w(i, j));
+    sv[j] = std::sqrt(s2);
+  }
+  std::sort(sv.begin(), sv.end(), std::greater<>());
+  return sv;
+}
+
+double condition_number(const CMat& a) {
+  const RVec sv = singular_values(a);
+  if (sv.empty()) return 0.0;
+  const double smin = sv.back();
+  if (smin <= std::numeric_limits<double>::min()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return sv.front() / smin;
+}
+
+}  // namespace flexcore::linalg

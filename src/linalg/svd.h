@@ -1,0 +1,20 @@
+// Singular values and condition numbers of small complex matrices.
+//
+// The paper repeatedly reasons about channel conditioning ("a low condition
+// number is an indicator of a favorable channel", §5.1); the trace generator
+// and several tests use these routines to quantify that.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace flexcore::linalg {
+
+/// All singular values of `a` (descending), via one-sided Jacobi rotations.
+/// Accurate to ~1e-10 for the small matrices used here.
+RVec singular_values(const CMat& a);
+
+/// 2-norm condition number sigma_max / sigma_min.  Returns +inf when the
+/// smallest singular value underflows.
+double condition_number(const CMat& a);
+
+}  // namespace flexcore::linalg

@@ -1,0 +1,54 @@
+// Basic scalar/vector types shared by the whole library.
+//
+// All signal-processing code in this repository works on complex baseband
+// samples represented as std::complex<double>.  Dimensions are tiny (MIMO
+// sizes up to 16x16), so simplicity and numerical robustness are preferred
+// over blocking/vectorization tricks.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace flexcore::linalg {
+
+using cplx = std::complex<double>;
+
+/// Dense complex column vector.
+using CVec = std::vector<cplx>;
+
+/// Dense real vector.
+using RVec = std::vector<double>;
+
+/// Squared magnitude |z|^2 (cheaper than std::abs which takes a sqrt).
+inline double abs2(cplx z) noexcept {
+  return z.real() * z.real() + z.imag() * z.imag();
+}
+
+/// Squared Euclidean norm of a complex vector.
+inline double norm2(const CVec& v) noexcept {
+  double s = 0.0;
+  for (cplx z : v) s += abs2(z);
+  return s;
+}
+
+/// Hermitian inner product <a, b> = a^H b.
+inline cplx dot(const CVec& a, const CVec& b) {
+  cplx s{0.0, 0.0};
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
+  return s;
+}
+
+/// y += alpha * x
+inline void axpy(cplx alpha, const CVec& x, CVec& y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// Element-wise difference a - b.
+inline CVec sub(const CVec& a, const CVec& b) {
+  CVec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+}  // namespace flexcore::linalg

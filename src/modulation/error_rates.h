@@ -1,0 +1,47 @@
+// Analytic symbol-error-rate expressions for AWGN QAM.
+//
+// These feed FlexCore's probabilistic path model (Eq. 4 / Appendix Eq. 11 of
+// the paper).  Three variants of the per-level "first point wrong"
+// probability Pe are provided; see docs on PeModel.
+#pragma once
+
+#include "modulation/constellation.h"
+
+namespace flexcore::modulation {
+
+/// Gaussian tail function Q(x) = P(N(0,1) > x).
+double q_function(double x);
+
+/// Exact symbol error probability of an m-ary PAM axis with minimum distance
+/// `dmin` under real Gaussian noise of standard deviation `sigma_r`.
+double pam_symbol_error(int m, double dmin, double sigma_r);
+
+/// Exact square M-QAM symbol error probability under complex AWGN with
+/// per-complex-sample variance `noise_var` (so each real axis has variance
+/// noise_var / 2), for a constellation scaled by `gain` (i.e. the received
+/// minimum distance is gain * c.min_distance()).
+double qam_symbol_error(const Constellation& c, double gain, double noise_var);
+
+/// Which analytic model supplies the per-level probability Pe(l) used by
+/// FlexCore's pre-processing (see DESIGN.md "Eq. 4 prefactor").
+enum class PeModel {
+  /// Eq. 4 exactly as printed in the paper:
+  ///   Pe = (2 + 2/sqrt(M)) * erfc(|R(l,l)| * sqrt(Es) / sigma),
+  /// clamped into (0, 1).  This is the default used everywhere.
+  kPaperErfc,
+  /// Exact AWGN square-QAM SER (qam_symbol_error) — the "true" probability
+  /// that the nearest point is not the transmitted one.
+  kExactSer,
+  /// Appendix Eq. 10 calibration: Pe = exp(-c / sigma^2) with c chosen so
+  /// the k = 1 probability matches the exact SER.  Identical to kExactSer by
+  /// construction; kept separate to document the derivation.
+  kRayleighCalibrated,
+};
+
+/// Per-level probability Pe(l) that the closest constellation point to the
+/// effective received point is NOT the transmitted one, for channel gain
+/// |R(l,l)| = `r_ll` and complex noise variance `noise_var`.
+double level_error_probability(PeModel model, const Constellation& c,
+                               double r_ll, double noise_var);
+
+}  // namespace flexcore::modulation

@@ -1,0 +1,108 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+
+namespace flexcore::parallel {
+
+std::size_t default_thread_count() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : num_threads_(std::max<std::size_t>(1, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (std::size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_chunks() {
+  // Caller-side variant: the job fields are owned by this thread.
+  for (;;) {
+    const std::size_t begin = next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (begin >= n_) break;
+    const std::size_t end = std::min(begin + chunk_, n_);
+    for (std::size_t i = begin; i < end; ++i) (*fn_)(i);
+    completed_.fetch_add(end - begin, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Snapshot the job under the mutex: parallel_for writes job fields
+    // under the same mutex and never reuses them until active_ drains, so
+    // the snapshot is always coherent.
+    const std::function<void(std::size_t)>* fn;
+    std::size_t n, chunk;
+    {
+      std::unique_lock lock(mu_);
+      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      fn = fn_;
+      n = n_;
+      chunk = chunk_;
+      active_.fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    for (;;) {
+      const std::size_t begin = next_.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const std::size_t end = std::min(begin + chunk, n);
+      for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+      completed_.fetch_add(end - begin, std::memory_order_acq_rel);
+    }
+
+    active_.fetch_sub(1, std::memory_order_acq_rel);
+    if (completed_.load(std::memory_order_acquire) >= n) {
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t chunk) {
+  if (n == 0) return;
+  if (chunk == 0) {
+    // Aim for ~8 chunks per thread to balance load vs scheduling overhead.
+    chunk = std::max<std::size_t>(1, n / (num_threads_ * 8));
+  }
+  if (num_threads_ == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Drain stragglers from the previous job before mutating job state (a
+  // worker holds active_ while it may still read next_/completed_).
+  while (active_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  {
+    std::lock_guard lock(mu_);
+    fn_ = &fn;
+    n_ = n;
+    chunk_ = chunk;
+    next_.store(0, std::memory_order_relaxed);
+    completed_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_chunks();  // caller participates
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return completed_.load(std::memory_order_acquire) >= n_;
+  });
+  fn_ = nullptr;
+}
+
+}  // namespace flexcore::parallel

@@ -1,0 +1,73 @@
+// Minimal blocking thread pool used to emulate pools of processing elements.
+//
+// FlexCore's detection is "nearly embarrassingly parallel": each selected
+// sphere-decoder path is an independent task.  On GPUs/FPGAs the paper maps
+// one path to one processing element; on this CPU reproduction a ThreadPool
+// plays the role of the PE pool, and the benchmarks measure how wall-clock
+// scales with the number of paths exactly as the paper's Fig. 11 does.
+//
+// The pool intentionally supports only the fork-join `parallel_for` pattern
+// (no futures, no nesting): that is the paper's computation shape, and the
+// simple shape keeps the scheduler overhead negligible next to the
+// Euclidean-distance math.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flexcore::parallel {
+
+/// Number of worker threads to use by default (>= 1).
+std::size_t default_thread_count();
+
+/// Fixed-size fork-join thread pool.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (including the caller as a participant:
+  /// with num_threads == 1 no extra thread is spawned and parallel_for runs
+  /// inline, which makes single-threaded baselines exact).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return num_threads_; }
+
+  /// Runs fn(i) for every i in [0, n), distributing work dynamically in
+  /// chunks; blocks until all iterations finish.  Must not be called
+  /// re-entrantly from inside fn.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t chunk = 0);
+
+ private:
+  void worker_loop();
+  void run_chunks();
+
+  std::size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+
+  // Current job.
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t chunk_ = 1;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> completed_{0};
+  // Workers currently inside run_chunks.  parallel_for drains this to zero
+  // before mutating job state, so a worker that raced past the completion
+  // check can never observe a half-written next job.
+  std::atomic<int> active_{0};
+};
+
+}  // namespace flexcore::parallel

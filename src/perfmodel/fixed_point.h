@@ -1,0 +1,94 @@
+// Q-format fixed-point arithmetic mirroring the FPGA's 16-bit datapath.
+//
+// The paper's FPGA engines use 16-bit fixed-point words (§5.3, Table 3).
+// This header provides a small saturating Q-format type so tests can verify
+// that FlexCore's path metrics survive 16-bit quantization — the sanity
+// check behind trusting the cost model's use of the paper's 16-bit numbers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <complex>
+
+#include "linalg/types.h"
+
+namespace flexcore::perfmodel {
+
+/// Signed fixed-point value with `kFracBits` fractional bits stored in
+/// `kTotalBits` bits, saturating on overflow.
+template <int kTotalBits = 16, int kFracBits = 11>
+class Fixed {
+  static_assert(kTotalBits > kFracBits + 1, "need at least one integer bit");
+
+ public:
+  static constexpr std::int32_t kScale = 1 << kFracBits;
+  static constexpr std::int32_t kMax = (1 << (kTotalBits - 1)) - 1;
+  static constexpr std::int32_t kMin = -(1 << (kTotalBits - 1));
+
+  constexpr Fixed() = default;
+
+  static constexpr Fixed from_double(double v) {
+    Fixed f;
+    const double scaled = v * kScale;
+    const double clamped =
+        std::clamp(scaled, static_cast<double>(kMin), static_cast<double>(kMax));
+    f.raw_ = static_cast<std::int32_t>(clamped >= 0 ? clamped + 0.5 : clamped - 0.5);
+    return f;
+  }
+  static constexpr Fixed from_raw(std::int32_t raw) {
+    Fixed f;
+    f.raw_ = saturate(raw);
+    return f;
+  }
+
+  constexpr double to_double() const {
+    return static_cast<double>(raw_) / kScale;
+  }
+  constexpr std::int32_t raw() const { return raw_; }
+
+  friend constexpr Fixed operator+(Fixed a, Fixed b) {
+    return from_raw(a.raw_ + b.raw_);
+  }
+  friend constexpr Fixed operator-(Fixed a, Fixed b) {
+    return from_raw(a.raw_ - b.raw_);
+  }
+  friend constexpr Fixed operator*(Fixed a, Fixed b) {
+    const std::int64_t p = static_cast<std::int64_t>(a.raw_) * b.raw_;
+    return from_raw(static_cast<std::int32_t>(
+        std::clamp<std::int64_t>(p >> kFracBits, kMin, kMax)));
+  }
+  friend constexpr bool operator<(Fixed a, Fixed b) { return a.raw_ < b.raw_; }
+  friend constexpr bool operator==(Fixed a, Fixed b) { return a.raw_ == b.raw_; }
+
+ private:
+  static constexpr std::int32_t saturate(std::int64_t v) {
+    return static_cast<std::int32_t>(std::clamp<std::int64_t>(v, kMin, kMax));
+  }
+  std::int32_t raw_ = 0;
+};
+
+/// Complex fixed-point sample.
+template <int kTotalBits = 16, int kFracBits = 11>
+struct FixedComplex {
+  using F = Fixed<kTotalBits, kFracBits>;
+  F re, im;
+
+  static FixedComplex from_cplx(linalg::cplx z) {
+    return {F::from_double(z.real()), F::from_double(z.imag())};
+  }
+  linalg::cplx to_cplx() const { return {re.to_double(), im.to_double()}; }
+
+  friend FixedComplex operator+(FixedComplex a, FixedComplex b) {
+    return {a.re + b.re, a.im + b.im};
+  }
+  friend FixedComplex operator-(FixedComplex a, FixedComplex b) {
+    return {a.re - b.re, a.im - b.im};
+  }
+  friend FixedComplex operator*(FixedComplex a, FixedComplex b) {
+    return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+  }
+  /// |z|^2 as fixed point (the l2-norm unit of Fig. 7).
+  F abs2() const { return re * re + im * im; }
+};
+
+}  // namespace flexcore::perfmodel

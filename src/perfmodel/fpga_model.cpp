@@ -1,0 +1,68 @@
+#include "perfmodel/fpga_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace flexcore::perfmodel {
+
+PeResource paper_pe_resource(EngineKind kind, std::size_t nt) {
+  // Table 3 (XCVU440-flga2892-3-e, 64-QAM, 16-bit fixed point, minimum
+  // pipeline level).
+  if (kind == EngineKind::kFlexCore && nt == 8) {
+    return {kind, nt, 3206, 15276, 1187, 5363, 16, 312.5, 6.82};
+  }
+  if (kind == EngineKind::kFcsd && nt == 8) {
+    return {kind, nt, 2187, 11320, 713, 4717, 16, 370.4, 6.54};
+  }
+  if (kind == EngineKind::kFlexCore && nt == 12) {
+    return {kind, nt, 5795, 28810, 2497, 11415, 24, 312.5, 9.157};
+  }
+  if (kind == EngineKind::kFcsd && nt == 12) {
+    return {kind, nt, 4364, 23252, 1537, 10501, 24, 370.4, 9.04};
+  }
+  throw std::invalid_argument("paper_pe_resource: unsupported (kind, nt)");
+}
+
+double area_delay_product(const PeResource& pe) {
+  // Logic LUTs / fmax reproduces the paper's quoted overheads (73.7% at
+  // Nt = 8, 57.8% at Nt = 12); memory LUTs are excluded from its metric.
+  return static_cast<double>(pe.logic_luts) / pe.fmax_mhz;
+}
+
+std::size_t max_instantiable_pes(const PeResource& pe, const DeviceCaps& caps) {
+  const double lut_budget = caps.max_utilization * caps.luts;
+  const double dsp_budget = caps.max_utilization * caps.dsp48;
+  const std::size_t by_lut = static_cast<std::size_t>(
+      lut_budget / static_cast<double>(pe.logic_luts + pe.mem_luts));
+  const std::size_t by_dsp =
+      static_cast<std::size_t>(dsp_budget / static_cast<double>(pe.dsp48));
+  return std::max<std::size_t>(1, std::min(by_lut, by_dsp));
+}
+
+double processing_throughput_bps(std::size_t nt, int qam_order,
+                                 double clock_mhz, std::size_t paths,
+                                 std::size_t m) {
+  if (m == 0 || paths == 0) return 0.0;
+  const double bits_per_vector =
+      std::log2(static_cast<double>(qam_order)) * static_cast<double>(nt);
+  const double cycles_per_vector =
+      std::ceil(static_cast<double>(paths) / static_cast<double>(m));
+  return bits_per_vector * clock_mhz * 1e6 / cycles_per_vector;
+}
+
+double energy_per_bit(const PeResource& pe, double clock_mhz, int qam_order,
+                      std::size_t paths, std::size_t m) {
+  const double tput =
+      processing_throughput_bps(pe.nt, qam_order, clock_mhz, paths, m);
+  if (tput <= 0.0) return std::numeric_limits<double>::infinity();
+  const double power = pe.power_w * static_cast<double>(m);
+  return power / tput;
+}
+
+std::string to_string(EngineKind k) {
+  return k == EngineKind::kFlexCore ? "FlexCore" : "FCSD";
+}
+
+}  // namespace flexcore::perfmodel

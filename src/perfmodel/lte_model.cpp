@@ -1,0 +1,26 @@
+#include "perfmodel/lte_model.h"
+
+#include <cmath>
+
+namespace flexcore::perfmodel {
+
+std::size_t supported_paths(double paths_per_second, const LteMode& mode) {
+  const double budget_paths = paths_per_second * kSlotSeconds;
+  const double per_vector =
+      budget_paths / static_cast<double>(vectors_per_slot(mode));
+  return static_cast<std::size_t>(std::floor(per_vector));
+}
+
+int fcsd_supported_level(double paths_per_second, const LteMode& mode,
+                         int qam_order, int max_level) {
+  const std::size_t budget = supported_paths(paths_per_second, mode);
+  int best = -1;
+  std::size_t need = 1;
+  for (int level = 1; level <= max_level; ++level) {
+    need *= static_cast<std::size_t>(qam_order);
+    if (need <= budget) best = level;
+  }
+  return best;
+}
+
+}  // namespace flexcore::perfmodel

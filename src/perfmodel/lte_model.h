@@ -1,0 +1,54 @@
+// LTE latency budget model (Fig. 12 reproduction).
+//
+// §5.2 of the paper: an LTE 10 ms frame has 20 slots of 500 us, and a frame
+// carries 140 OFDM symbols per occupied subcarrier (14 per 1 ms subframe).
+// A detector therefore must process 7 * N_occupied MIMO vectors within each
+// 500 us slot.  Given a platform's measured path-evaluation rate, this
+// model computes how many Sphere-decoder paths per vector fit in the
+// budget for every LTE bandwidth mode — step (a) of the paper's two-step
+// methodology; step (b) (the SNR loss such a path budget costs) is
+// measured algorithmically by the fig12 benchmark.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace flexcore::perfmodel {
+
+struct LteMode {
+  const char* name;
+  double bandwidth_mhz;
+  std::size_t occupied_subcarriers;
+};
+
+/// The six LTE bandwidth modes of Fig. 12.
+inline constexpr std::array<LteMode, 6> kLteModes{{
+    {"1.25 MHz", 1.25, 76},
+    {"2.5 MHz", 2.5, 150},
+    {"5 MHz", 5.0, 300},
+    {"10 MHz", 10.0, 600},
+    {"15 MHz", 15.0, 900},
+    {"20 MHz", 20.0, 1200},
+}};
+
+inline constexpr double kSlotSeconds = 500e-6;
+inline constexpr std::size_t kSymbolsPerSlot = 7;
+
+/// MIMO vectors that must be detected per slot in a given mode.
+inline std::size_t vectors_per_slot(const LteMode& mode) {
+  return kSymbolsPerSlot * mode.occupied_subcarriers;
+}
+
+/// Maximum Sphere-decoder paths per vector a platform sustaining
+/// `paths_per_second` can afford in this mode's slot budget (0 = the mode's
+/// deadline cannot be met even with one path).
+std::size_t supported_paths(double paths_per_second, const LteMode& mode);
+
+/// For the FCSD only |Q|^L path counts are realizable; returns the largest
+/// feasible L (or -1 if even L = 1 misses the deadline) — the "FCSD not
+/// supported" crosses of Fig. 12.
+int fcsd_supported_level(double paths_per_second, const LteMode& mode,
+                         int qam_order, int max_level = 2);
+
+}  // namespace flexcore::perfmodel

@@ -1,0 +1,161 @@
+#include "sim/link.h"
+
+#include <stdexcept>
+
+#include "coding/convolutional.h"
+
+namespace flexcore::sim {
+
+UplinkPacketLink::UplinkPacketLink(const LinkConfig& cfg)
+    : cfg_(cfg),
+      c_(cfg.qam_order),
+      interleaver_(ofdm::coded_bits_per_ofdm_symbol(cfg.ofdm, c_.bits_per_symbol()),
+                   static_cast<std::size_t>(c_.bits_per_symbol())),
+      info_bits_(ofdm::padded_info_bits(cfg.info_bits_per_user, cfg.ofdm,
+                                        c_.bits_per_symbol())) {
+  const std::size_t ncbps =
+      ofdm::coded_bits_per_ofdm_symbol(cfg_.ofdm, c_.bits_per_symbol());
+  n_ofdm_symbols_ = 2 * (info_bits_ + 6) / ncbps;
+}
+
+namespace {
+
+/// Per-user transmit pipeline: info bits -> coded/interleaved -> symbols.
+struct UserTx {
+  coding::BitVec info;
+  std::vector<int> symbols;  // length = n_ofdm_symbols * data_subcarriers
+};
+
+UserTx make_user_tx(const modulation::Constellation& c,
+                    const coding::Interleaver& ilv, std::size_t info_bits,
+                    channel::Rng& rng) {
+  UserTx tx;
+  tx.info.resize(info_bits);
+  for (auto& b : tx.info) b = rng.bit();
+  coding::BitVec coded = coding::conv_encode(tx.info);
+  coded = ilv.interleave_stream(coded);
+  const int bps = c.bits_per_symbol();
+  tx.symbols.resize(coded.size() / static_cast<std::size_t>(bps));
+  for (std::size_t s = 0; s < tx.symbols.size(); ++s) {
+    tx.symbols[s] = c.map_bits(coded, s * static_cast<std::size_t>(bps));
+  }
+  return tx;
+}
+
+}  // namespace
+
+PacketOutcome UplinkPacketLink::run_packet(detect::Detector& det,
+                                           const channel::ChannelTrace& trace,
+                                           double noise_var,
+                                           channel::Rng& rng) const {
+  const std::size_t nt = trace.per_subcarrier.front().cols();
+  const std::size_t nsc = cfg_.ofdm.data_subcarriers;
+  if (trace.per_subcarrier.size() < nsc) {
+    throw std::invalid_argument("run_packet: trace has fewer subcarriers than needed");
+  }
+
+  // Transmit side.
+  std::vector<UserTx> users(nt);
+  for (auto& u : users) u = make_user_tx(c_, interleaver_, info_bits_, rng);
+
+  PacketOutcome out;
+  out.user_ok.assign(nt, false);
+
+  // Detected symbol index per user, time-major like UserTx::symbols:
+  // slot = t * nsc + f.
+  std::vector<std::vector<int>> detected(nt,
+                                         std::vector<int>(users[0].symbols.size()));
+
+  // Detection: channels are per-subcarrier; symbol t of subcarrier f uses
+  // trace.per_subcarrier[f] (static channel over the packet).
+  linalg::CVec s(nt);
+  for (std::size_t f = 0; f < nsc; ++f) {
+    det.set_channel(trace.per_subcarrier[f], noise_var);
+    out.sum_active_pes += static_cast<double>(det.parallel_tasks());
+    ++out.channel_installs;
+    for (std::size_t t = 0; t < n_ofdm_symbols_; ++t) {
+      const std::size_t slot = t * nsc + f;
+      for (std::size_t u = 0; u < nt; ++u) {
+        s[u] = c_.point(users[u].symbols[slot]);
+      }
+      const linalg::CVec y =
+          channel::transmit(trace.per_subcarrier[f], s, noise_var, rng);
+      detect::DetectionResult res = det.detect(y);
+      out.stats += res.stats;
+      ++out.vectors_detected;
+      for (std::size_t u = 0; u < nt; ++u) {
+        detected[u][slot] = res.symbols[u];
+        ++out.symbols_sent;
+        if (res.symbols[u] != users[u].symbols[slot]) ++out.symbol_errors;
+      }
+    }
+  }
+
+  // Receive side per user: demap -> deinterleave -> Viterbi -> compare.
+  for (std::size_t u = 0; u < nt; ++u) {
+    coding::BitVec bits;
+    bits.reserve(detected[u].size() *
+                 static_cast<std::size_t>(c_.bits_per_symbol()));
+    for (int sym : detected[u]) c_.unmap_bits(sym, bits);
+    bits = interleaver_.deinterleave_stream(bits);
+    const coding::BitVec decoded = coding::viterbi_decode(bits);
+    out.user_ok[u] = (decoded == users[u].info);
+  }
+  return out;
+}
+
+PacketOutcome UplinkPacketLink::run_packet_soft(core::FlexCoreDetector& det,
+                                                const channel::ChannelTrace& trace,
+                                                double noise_var,
+                                                channel::Rng& rng) const {
+  const std::size_t nt = trace.per_subcarrier.front().cols();
+  const std::size_t nsc = cfg_.ofdm.data_subcarriers;
+  const int bps = c_.bits_per_symbol();
+
+  std::vector<UserTx> users(nt);
+  for (auto& u : users) u = make_user_tx(c_, interleaver_, info_bits_, rng);
+
+  PacketOutcome out;
+  out.user_ok.assign(nt, false);
+
+  // Per-user LLR stream aligned with the interleaved coded bits.
+  std::vector<std::vector<double>> llr(
+      nt, std::vector<double>(users[0].symbols.size() *
+                              static_cast<std::size_t>(bps)));
+
+  linalg::CVec s(nt);
+  for (std::size_t f = 0; f < nsc; ++f) {
+    det.set_channel(trace.per_subcarrier[f], noise_var);
+    out.sum_active_pes += static_cast<double>(det.parallel_tasks());
+    ++out.channel_installs;
+    for (std::size_t t = 0; t < n_ofdm_symbols_; ++t) {
+      const std::size_t slot = t * nsc + f;
+      for (std::size_t u = 0; u < nt; ++u) {
+        s[u] = c_.point(users[u].symbols[slot]);
+      }
+      const linalg::CVec y =
+          channel::transmit(trace.per_subcarrier[f], s, noise_var, rng);
+      const core::SoftOutput soft = det.detect_soft(y);
+      out.stats += soft.hard.stats;
+      ++out.vectors_detected;
+      for (std::size_t u = 0; u < nt; ++u) {
+        ++out.symbols_sent;
+        if (soft.hard.symbols[u] != users[u].symbols[slot]) ++out.symbol_errors;
+        for (int b = 0; b < bps; ++b) {
+          llr[u][slot * static_cast<std::size_t>(bps) +
+                 static_cast<std::size_t>(b)] =
+              soft.llrs[u][static_cast<std::size_t>(b)];
+        }
+      }
+    }
+  }
+
+  for (std::size_t u = 0; u < nt; ++u) {
+    const std::vector<double> dllr = interleaver_.deinterleave_stream(llr[u]);
+    const coding::BitVec decoded = coding::viterbi_decode_soft(dllr);
+    out.user_ok[u] = (decoded == users[u].info);
+  }
+  return out;
+}
+
+}  // namespace flexcore::sim

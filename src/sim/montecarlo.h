@@ -1,0 +1,72 @@
+// Monte-Carlo measurement harnesses shared by tests and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "channel/trace.h"
+#include "detect/detector.h"
+#include "sim/link.h"
+
+namespace flexcore::sim {
+
+/// Scenario for uncoded vector-error-rate measurements.
+struct VerScenario {
+  std::size_t nr = 12;
+  std::size_t nt = 12;
+  int qam_order = 64;
+  double rx_correlation = 0.4;
+  double user_power_spread_db = 3.0;
+};
+
+struct VerResult {
+  double ver = 0.0;            ///< fraction of vectors with >= 1 symbol error
+  double ser = 0.0;            ///< per-symbol error rate
+  std::size_t vectors = 0;
+  detect::DetectionStats stats;
+};
+
+/// Uncoded Monte-Carlo: `num_channels` independent channel draws, each with
+/// `vectors_per_channel` random transmissions.
+VerResult measure_vector_error_rate(detect::Detector& det,
+                                    const VerScenario& sc, double snr_db,
+                                    std::size_t num_channels,
+                                    std::size_t vectors_per_channel,
+                                    std::uint64_t seed);
+
+/// Coded packet-level measurement output.
+struct ThroughputResult {
+  double throughput_mbps = 0.0;
+  double avg_per = 0.0;               ///< mean per-user packet error rate
+  std::vector<double> per_user_per;
+  double avg_active_pes = 0.0;        ///< mean PEs per channel (a-FlexCore)
+  std::size_t packets = 0;
+  detect::DetectionStats stats;
+};
+
+/// Runs `packets` coded packets through the uplink and aggregates PER and
+/// network throughput.  A fresh ChannelTrace is drawn per packet.
+ThroughputResult measure_throughput(detect::Detector& det,
+                                    const LinkConfig& lcfg,
+                                    const channel::TraceConfig& tcfg,
+                                    double noise_var, std::size_t packets,
+                                    std::uint64_t seed);
+
+/// Same but using FlexCore's soft-output extension + soft Viterbi.
+ThroughputResult measure_throughput_soft(core::FlexCoreDetector& det,
+                                         const LinkConfig& lcfg,
+                                         const channel::TraceConfig& tcfg,
+                                         double noise_var, std::size_t packets,
+                                         std::uint64_t seed);
+
+/// Bisection search for the SNR at which `det` reaches `target_per` on the
+/// coded link (PER decreases monotonically with SNR; tolerance is limited
+/// by `packets`).  Used to calibrate the PER_ML = 0.1 / 0.01 operating
+/// points of the paper's methodology.
+double find_snr_for_per(detect::Detector& det, const LinkConfig& lcfg,
+                        const channel::TraceConfig& tcfg, double target_per,
+                        double lo_db, double hi_db, int iterations,
+                        std::size_t packets, std::uint64_t seed);
+
+}  // namespace flexcore::sim

@@ -1,0 +1,195 @@
+// Tests for channel models, noise generation and the trace generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/channel.h"
+#include "channel/trace.h"
+#include "linalg/svd.h"
+
+namespace ch = flexcore::channel;
+using flexcore::linalg::CMat;
+using flexcore::linalg::CVec;
+using flexcore::linalg::cplx;
+
+TEST(Rng, Deterministic) {
+  ch::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.gaussian(), b.gaussian());
+  }
+}
+
+TEST(Rng, CgaussianVariance) {
+  ch::Rng rng(7);
+  double sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum2 += flexcore::linalg::abs2(rng.cgaussian(2.0));
+  EXPECT_NEAR(sum2 / n, 2.0, 0.05);
+}
+
+TEST(Rng, UniformIntInRange) {
+  ch::Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_int(10), 10u);
+  }
+}
+
+TEST(Channel, RayleighUnitVariancePerEntry) {
+  ch::Rng rng(1);
+  double sum2 = 0.0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const CMat h = ch::rayleigh_iid(8, 8, rng);
+    sum2 += h.frobenius_norm() * h.frobenius_norm();
+  }
+  EXPECT_NEAR(sum2 / (trials * 64.0), 1.0, 0.03);
+}
+
+TEST(Channel, ExpCorrelationStructure) {
+  const CMat r = ch::exp_correlation(4, 0.5);
+  EXPECT_NEAR(r(0, 0).real(), 1.0, 1e-12);
+  EXPECT_NEAR(r(0, 1).real(), 0.5, 1e-12);
+  EXPECT_NEAR(r(0, 3).real(), 0.125, 1e-12);
+  EXPECT_NEAR(r(2, 1).real(), 0.5, 1e-12);
+  EXPECT_THROW(ch::exp_correlation(4, 1.0), std::invalid_argument);
+  EXPECT_THROW(ch::exp_correlation(4, -0.1), std::invalid_argument);
+}
+
+TEST(Channel, KroneckerInducesReceiveCorrelation) {
+  ch::Rng rng(2);
+  const double rho = 0.7;
+  const std::size_t nr = 4, nt = 4;
+  CMat acc(nr, nr);
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    const CMat h = ch::kronecker_channel(nr, nt, rho,
+                                         std::vector<double>(nt, 1.0), rng);
+    acc += h * h.hermitian();
+  }
+  // E[H H^H] = Nt * Rr.
+  const double scale = 1.0 / (trials * static_cast<double>(nt));
+  EXPECT_NEAR(acc(0, 1).real() * scale, rho, 0.05);
+  EXPECT_NEAR(acc(0, 2).real() * scale, rho * rho, 0.05);
+  EXPECT_NEAR(acc(0, 0).real() * scale, 1.0, 0.05);
+}
+
+TEST(Channel, UserGainsScaleColumns) {
+  ch::Rng rng(3);
+  std::vector<double> gains{4.0, 1.0, 0.25, 1.0};
+  double e0 = 0.0, e2 = 0.0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    const CMat h = ch::kronecker_channel(4, 4, 0.0, gains, rng);
+    e0 += flexcore::linalg::norm2(h.col(0));
+    e2 += flexcore::linalg::norm2(h.col(2));
+  }
+  EXPECT_NEAR(e0 / e2, 16.0, 1.2);  // 4.0 / 0.25
+}
+
+TEST(Channel, BoundedUserGainsRespectSpreadAndMean) {
+  ch::Rng rng(4);
+  for (int t = 0; t < 50; ++t) {
+    const auto g = ch::bounded_user_gains(12, 3.0, rng);
+    double mean = 0.0;
+    for (double v : g) mean += v;
+    mean /= 12.0;
+    EXPECT_NEAR(mean, 1.0, 1e-9);
+    const auto [mn, mx] = std::minmax_element(g.begin(), g.end());
+    EXPECT_LE(10.0 * std::log10(*mx / *mn), 3.0 + 1e-9);
+  }
+}
+
+TEST(Channel, SnrNoiseVarRoundTrip) {
+  for (double snr : {0.0, 10.0, 21.6}) {
+    const double nv = ch::noise_var_for_snr_db(snr);
+    EXPECT_NEAR(ch::snr_db_for_noise_var(nv), snr, 1e-9);
+  }
+  // Per-user SNR convention: 20 dB per user = 0.01 noise variance at Es = 1.
+  EXPECT_NEAR(ch::noise_var_for_snr_db(20.0), 0.01, 1e-12);
+}
+
+TEST(Channel, TransmitAddsCalibratedNoise) {
+  ch::Rng rng(5);
+  const CMat h = ch::rayleigh_iid(8, 8, rng);
+  const CVec s(8, cplx{0.0, 0.0});  // zero signal isolates the noise
+  double sum2 = 0.0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    const CVec y = ch::transmit(h, s, 0.5, rng);
+    sum2 += flexcore::linalg::norm2(y);
+  }
+  EXPECT_NEAR(sum2 / (trials * 8.0), 0.5, 0.02);
+}
+
+TEST(Trace, ShapeAndDeterminism) {
+  ch::TraceConfig cfg;
+  cfg.nr = 8;
+  cfg.nt = 8;
+  cfg.num_subcarriers = 64;
+  ch::TraceGenerator g1(cfg, 99), g2(cfg, 99);
+  const auto t1 = g1.next();
+  const auto t2 = g2.next();
+  ASSERT_EQ(t1.per_subcarrier.size(), 64u);
+  EXPECT_EQ(t1.per_subcarrier[0].rows(), 8u);
+  EXPECT_EQ(t1.per_subcarrier[0].cols(), 8u);
+  for (std::size_t f = 0; f < 64; f += 13) {
+    EXPECT_LT(CMat::max_abs_diff(t1.per_subcarrier[f], t2.per_subcarrier[f]),
+              1e-15);
+  }
+}
+
+TEST(Trace, UnitAverageEntryEnergy) {
+  ch::TraceConfig cfg;
+  cfg.nr = 4;
+  cfg.nt = 4;
+  ch::TraceGenerator gen(cfg, 17);
+  double sum2 = 0.0;
+  std::size_t count = 0;
+  for (int p = 0; p < 40; ++p) {
+    const auto trace = gen.next();
+    for (const CMat& h : trace.per_subcarrier) {
+      sum2 += h.frobenius_norm() * h.frobenius_norm();
+      count += h.rows() * h.cols();
+    }
+  }
+  EXPECT_NEAR(sum2 / static_cast<double>(count), 1.0, 0.08);
+}
+
+TEST(Trace, FrequencySelectivityFollowsDelaySpread) {
+  // With one tap the channel is flat across subcarriers; with many taps
+  // adjacent subcarriers decorrelate.
+  ch::TraceConfig flat;
+  flat.nr = flat.nt = 2;
+  flat.num_taps = 1;
+  ch::TraceGenerator gf(flat, 5);
+  const auto tf = gf.next();
+  EXPECT_LT(CMat::max_abs_diff(tf.per_subcarrier[0], tf.per_subcarrier[32]),
+            1e-12);
+
+  ch::TraceConfig sel;
+  sel.nr = sel.nt = 2;
+  sel.num_taps = 8;
+  sel.delay_spread_taps = 4.0;
+  ch::TraceGenerator gs(sel, 5);
+  const auto ts = gs.next();
+  EXPECT_GT(CMat::max_abs_diff(ts.per_subcarrier[0], ts.per_subcarrier[32]),
+            0.05);
+}
+
+TEST(Trace, ConditionNumberImprovesWithFewerUsers) {
+  // The paper's Fig. 10 premise: fewer users than AP antennas -> better
+  // conditioned channels (lower condition number).
+  ch::TraceConfig full;
+  full.nr = 8;
+  full.nt = 8;
+  ch::TraceConfig light = full;
+  light.nt = 4;
+
+  double cond_full = 0.0, cond_light = 0.0;
+  ch::TraceGenerator gfull(full, 3), glight(light, 3);
+  for (int p = 0; p < 10; ++p) {
+    cond_full += flexcore::linalg::condition_number(gfull.next().per_subcarrier[0]);
+    cond_light += flexcore::linalg::condition_number(glight.next().per_subcarrier[0]);
+  }
+  EXPECT_LT(cond_light, cond_full);
+}

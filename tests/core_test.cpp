@@ -1,0 +1,710 @@
+// Tests for FlexCore's pre-processing, ordering LUT and detector.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "channel/channel.h"
+#include "core/flexcore_detector.h"
+#include "core/ordering_lut.h"
+#include "core/preprocessing.h"
+#include "detect/exhaustive.h"
+#include "detect/fcsd.h"
+#include "detect/sic.h"
+#include "linalg/qr.h"
+
+namespace fc = flexcore::core;
+namespace fd = flexcore::detect;
+namespace ch = flexcore::channel;
+namespace fm = flexcore::modulation;
+using flexcore::linalg::CMat;
+using flexcore::linalg::CVec;
+using flexcore::linalg::cplx;
+using fm::Constellation;
+
+namespace {
+
+CMat random_channel(std::size_t nr, std::size_t nt, std::uint64_t seed) {
+  ch::Rng rng(seed);
+  return ch::rayleigh_iid(nr, nt, rng);
+}
+
+std::string key_of(const fc::PositionVector& p) {
+  std::string k;
+  for (int v : p) {
+    k += std::to_string(v);
+    k += ',';
+  }
+  return k;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- preprocessing
+
+TEST(Preprocessing, FirstPathIsAllOnes) {
+  Constellation c(16);
+  const CMat h = random_channel(8, 8, 1);
+  const auto qr = flexcore::linalg::sorted_qr_wubben(h);
+  fc::PreprocessingConfig cfg;
+  cfg.num_paths = 32;
+  const auto res = fc::find_most_promising_paths(qr.R, 0.1, c, cfg);
+  ASSERT_FALSE(res.paths.empty());
+  for (int v : res.paths.front().p) EXPECT_EQ(v, 1);
+}
+
+TEST(Preprocessing, PathsAreUniqueAndDescending) {
+  Constellation c(64);
+  const CMat h = random_channel(12, 12, 2);
+  const auto qr = flexcore::linalg::sorted_qr_wubben(h);
+  fc::PreprocessingConfig cfg;
+  cfg.num_paths = 256;
+  const auto res = fc::find_most_promising_paths(qr.R, 0.2, c, cfg);
+  EXPECT_EQ(res.paths.size(), 256u);
+
+  std::set<std::string> seen;
+  double prev = 2.0;
+  for (const auto& rp : res.paths) {
+    EXPECT_TRUE(seen.insert(key_of(rp.p)).second) << "duplicate " << key_of(rp.p);
+    EXPECT_LE(rp.pc, prev + 1e-15) << "not descending";
+    prev = rp.pc;
+    for (int v : rp.p) {
+      EXPECT_GE(v, 1);
+      EXPECT_LE(v, 64);
+    }
+  }
+}
+
+TEST(Preprocessing, PcValuesMatchModel) {
+  Constellation c(16);
+  const CMat h = random_channel(4, 4, 3);
+  const auto qr = flexcore::linalg::sorted_qr_wubben(h);
+  fc::PreprocessingConfig cfg;
+  cfg.num_paths = 64;
+  const auto res = fc::find_most_promising_paths(qr.R, 0.15, c, cfg);
+  for (const auto& rp : res.paths) {
+    double pc = 1.0;
+    for (std::size_t l = 0; l < rp.p.size(); ++l) {
+      pc *= (1.0 - res.pe[l]) * std::pow(res.pe[l], rp.p[l] - 1);
+    }
+    EXPECT_NEAR(rp.pc, pc, 1e-12 + 1e-9 * pc);
+  }
+}
+
+class PreprocessingExhaustive
+    : public ::testing::TestWithParam<fm::PeModel> {};
+
+TEST_P(PreprocessingExhaustive, MatchesExhaustiveRanking) {
+  Constellation c(4);
+  const CMat h = random_channel(3, 3, 4);
+  const auto qr = flexcore::linalg::sorted_qr_wubben(h);
+  fc::PreprocessingConfig cfg;
+  cfg.num_paths = 20;
+  cfg.pe_model = GetParam();
+  cfg.candidate_list_cap = 100000;  // unbounded frontier -> exact best-first
+  const auto res = fc::find_most_promising_paths(qr.R, 0.3, c, cfg);
+  const auto want = fc::rank_paths_exhaustive(res.pe, 4, 3, 20);
+  ASSERT_EQ(res.paths.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(res.paths[i].pc, want[i].pc, 1e-12)
+        << "rank " << i << ": got " << key_of(res.paths[i].p) << " want "
+        << key_of(want[i].p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPeModels, PreprocessingExhaustive,
+                         ::testing::Values(fm::PeModel::kPaperErfc,
+                                           fm::PeModel::kExactSer,
+                                           fm::PeModel::kRayleighCalibrated));
+
+TEST(Preprocessing, TrimmedFrontierCloseToExact) {
+  // The paper's bounded candidate list (|L| <= N_PE) is a heuristic; verify
+  // it stays close to the unbounded best-first search.
+  Constellation c(16);
+  const CMat h = random_channel(8, 8, 5);
+  const auto qr = flexcore::linalg::sorted_qr_wubben(h);
+
+  fc::PreprocessingConfig paper;
+  paper.num_paths = 64;
+  fc::PreprocessingConfig exact = paper;
+  exact.candidate_list_cap = 1000000;
+
+  const auto rp = fc::find_most_promising_paths(qr.R, 0.2, c, paper);
+  const auto re = fc::find_most_promising_paths(qr.R, 0.2, c, exact);
+
+  std::set<std::string> sp, se;
+  for (const auto& x : rp.paths) sp.insert(key_of(x.p));
+  for (const auto& x : re.paths) se.insert(key_of(x.p));
+  std::size_t common = 0;
+  for (const auto& k : sp) common += se.count(k);
+  EXPECT_GE(common, 58u) << "bounded list diverged from exact best-first";
+  EXPECT_GE(rp.pc_sum, 0.95 * re.pc_sum);
+}
+
+TEST(Preprocessing, StopThresholdLimitsPaths) {
+  Constellation c(16);
+  const CMat h = random_channel(8, 8, 6);
+  const auto qr = flexcore::linalg::sorted_qr_wubben(h);
+  // Clean channel: very few paths reach 95% cumulative probability.
+  fc::PreprocessingConfig cfg;
+  cfg.num_paths = 64;
+  cfg.stop_threshold = 0.95;
+  const auto clean = fc::find_most_promising_paths(qr.R, 1e-4, c, cfg);
+  EXPECT_LT(clean.paths.size(), 8u);
+  EXPECT_GE(clean.pc_sum, 0.95);
+
+  const auto noisy = fc::find_most_promising_paths(qr.R, 0.5, c, cfg);
+  EXPECT_GT(noisy.paths.size(), clean.paths.size());
+}
+
+TEST(Preprocessing, MultiplicationBudgetRespected) {
+  // Worst case from §3.1.1: N_PE * Nt multiplications (+ Nt-1 for the root).
+  Constellation c(64);
+  const CMat h = random_channel(12, 12, 7);
+  const auto qr = flexcore::linalg::sorted_qr_wubben(h);
+  for (std::size_t npe : {32u, 128u, 512u}) {
+    fc::PreprocessingConfig cfg;
+    cfg.num_paths = npe;
+    const auto res = fc::find_most_promising_paths(qr.R, 0.2, c, cfg);
+    EXPECT_LE(res.real_mults, npe * 12 + 11) << "npe=" << npe;
+    EXPECT_GT(res.real_mults, 0u);
+  }
+}
+
+TEST(Preprocessing, SmallConstellationExhaustsAllPaths) {
+  Constellation c(4);
+  const CMat h = random_channel(2, 2, 8);
+  const auto qr = flexcore::linalg::sorted_qr_wubben(h);
+  fc::PreprocessingConfig cfg;
+  cfg.num_paths = 1000;  // > 4^2 = 16 total paths
+  const auto res = fc::find_most_promising_paths(qr.R, 0.3, c, cfg);
+  EXPECT_EQ(res.paths.size(), 16u);
+  EXPECT_NEAR(res.pc_sum, res.paths.size() ? res.pc_sum : 0.0, 0.0);
+  // All 16 position vectors must be covered.
+  std::set<std::string> seen;
+  for (const auto& rp : res.paths) seen.insert(key_of(rp.p));
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Preprocessing, BatchedExpansionMatchesSequentialClosely) {
+  // §3.1.1: parallel expansion is loss-free while N_PE / batch >= 10.
+  Constellation c(64);
+  const CMat h = random_channel(12, 12, 9);
+  const auto qr = flexcore::linalg::sorted_qr_wubben(h);
+  fc::PreprocessingConfig seq;
+  seq.num_paths = 128;
+  fc::PreprocessingConfig par = seq;
+  par.batch_expand = 12;  // 128 / 12 > 10
+
+  const auto rs = fc::find_most_promising_paths(qr.R, 0.25, c, seq);
+  const auto rp = fc::find_most_promising_paths(qr.R, 0.25, c, par);
+  std::set<std::string> ss, sp;
+  for (const auto& x : rs.paths) ss.insert(key_of(x.p));
+  for (const auto& x : rp.paths) sp.insert(key_of(x.p));
+  std::size_t common = 0;
+  for (const auto& k : ss) common += sp.count(k);
+  EXPECT_GE(common, 115u);  // ~90% overlap
+  EXPECT_GE(rp.pc_sum, 0.95 * rs.pc_sum);
+}
+
+TEST(Preprocessing, ZeroPathsThrows) {
+  Constellation c(4);
+  const CMat h = random_channel(2, 2, 10);
+  const auto qr = flexcore::linalg::sorted_qr_wubben(h);
+  fc::PreprocessingConfig cfg;
+  cfg.num_paths = 0;
+  EXPECT_THROW(fc::find_most_promising_paths(qr.R, 0.1, c, cfg),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ ordering LUT
+
+class OrderingLutTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrderingLutTest, FirstEntryIsTheSlicerCenter) {
+  Constellation c(GetParam());
+  fc::OrderingLut lut(c);
+  ASSERT_FALSE(lut.base_order().empty());
+  EXPECT_EQ(lut.base_order()[0].di, 0);
+  EXPECT_EQ(lut.base_order()[0].dq, 0);
+}
+
+TEST_P(OrderingLutTest, KOneMatchesSliceInsideGrid) {
+  Constellation c(GetParam());
+  fc::OrderingLut lut(c);
+  ch::Rng rng(11);
+  for (int t = 0; t < 300; ++t) {
+    // Stay strictly inside the constellation hull so the slicer square
+    // center is a real symbol.
+    const double span = c.pam_level(c.side() - 1);
+    const cplx z{rng.uniform(-span, span), rng.uniform(-span, span)};
+    EXPECT_EQ(lut.kth_symbol(z, 1), c.slice(z));
+  }
+}
+
+TEST_P(OrderingLutTest, ValidEntriesAreDistinct) {
+  Constellation c(GetParam());
+  fc::OrderingLut lut(c);
+  ch::Rng rng(12);
+  for (int t = 0; t < 50; ++t) {
+    const double span = c.pam_level(c.side() - 1) * 1.4;  // partly outside
+    const cplx z{rng.uniform(-span, span), rng.uniform(-span, span)};
+    std::set<int> seen;
+    for (int k = 1; k <= c.order(); ++k) {
+      const int sym = lut.kth_symbol(z, k);
+      if (sym >= 0) {
+        EXPECT_TRUE(seen.insert(sym).second)
+            << "k=" << k << " duplicated symbol " << sym;
+      }
+    }
+  }
+}
+
+TEST_P(OrderingLutTest, SkipPolicyAlwaysYieldsValidDistinctSymbols) {
+  Constellation c(GetParam());
+  fc::OrderingLut lut(c);
+  ch::Rng rng(13);
+  for (int t = 0; t < 50; ++t) {
+    const double span = c.pam_level(c.side() - 1) * 2.0;
+    const cplx z{rng.uniform(-span, span), rng.uniform(-span, span)};
+    std::set<int> seen;
+    int k = 1;
+    for (; k <= c.order(); ++k) {
+      const int sym = lut.kth_symbol(z, k, fc::InvalidEntryPolicy::kSkipToValid);
+      if (sym < 0) break;  // ran out of in-range entries
+      EXPECT_TRUE(seen.insert(sym).second);
+    }
+    EXPECT_GE(static_cast<int>(seen.size()), 1);
+  }
+}
+
+TEST_P(OrderingLutTest, ApproximatesExactOrderNearTheCenter) {
+  // Sample residuals within the slicer square of an interior symbol, where
+  // every LUT entry addresses a real symbol — a pure ordering comparison.
+  Constellation c(GetParam());
+  fc::OrderingLut lut(c);
+  ch::Rng rng(14);
+  const cplx center = c.point(c.index_from_axes(c.side() / 2, c.side() / 2));
+  const double h = c.scale();
+  int agree1 = 0, agree_top4 = 0, total = 0;
+  for (int t = 0; t < 400; ++t) {
+    const cplx z = center + cplx{rng.uniform(-h, h), rng.uniform(-h, h)};
+    ++total;
+    agree1 += (lut.kth_symbol(z, 1) == c.kth_nearest_exact(z, 1));
+    // Top-4 set agreement (order within the set may differ slightly).
+    std::set<int> lut4, exact4;
+    for (int k = 1; k <= 4; ++k) {
+      lut4.insert(lut.kth_symbol(z, k));
+      exact4.insert(c.kth_nearest_exact(z, k));
+    }
+    agree_top4 += (lut4 == exact4);
+  }
+  EXPECT_EQ(agree1, total);  // k=1 is exact by construction
+  // A single modal order per triangle is an approximation (paper §3.2); we
+  // measured ~66% exact top-4 set agreement uniformly across all 8 octants.
+  // Guard against regressions well below that level.
+  EXPECT_GE(agree_top4, total * 55 / 100)
+      << "top-4 sets diverged more than expected";
+}
+
+TEST_P(OrderingLutTest, PositionalAgreementUniformAcrossOctants) {
+  // If the dihedral symmetry transform were wrong, agreement would collapse
+  // in the reflected octants while staying high in the canonical one.
+  Constellation c(GetParam());
+  fc::OrderingLut lut(c);
+  ch::Rng rng(15);
+  const double h = c.scale();
+  const cplx center = c.point(c.index_from_axes(c.side() / 2, c.side() / 2));
+  std::vector<int> per_octant(8, 0);
+  const int per_oct_trials = 250;
+  for (int oct = 0; oct < 8; ++oct) {
+    for (int t = 0; t < per_oct_trials; ++t) {
+      double a = h * std::sqrt(rng.uniform());
+      double b = a * rng.uniform();  // (a, b) uniform in triangle t1
+      double u = a, v = b;
+      if (oct & 4) std::swap(u, v);
+      if (oct & 1) u = -u;
+      if (oct & 2) v = -v;
+      const cplx z = center + cplx{u, v};
+      int agree = 0;
+      for (int k = 1; k <= 8; ++k) {
+        agree += lut.kth_symbol(z, k) == c.kth_nearest_exact(z, k);
+      }
+      per_octant[static_cast<std::size_t>(oct)] += agree;
+    }
+  }
+  // All octants within a narrow band of each other.
+  const auto [mn, mx] = std::minmax_element(per_octant.begin(), per_octant.end());
+  EXPECT_GT(*mn, 0);
+  EXPECT_LT(static_cast<double>(*mx - *mn),
+            0.15 * static_cast<double>(8 * per_oct_trials))
+      << "octant asymmetry suggests a broken symmetry transform";
+  for (int oct = 0; oct < 8; ++oct) {
+    EXPECT_GE(per_octant[static_cast<std::size_t>(oct)],
+              per_oct_trials * 8 * 60 / 100)
+        << "octant " << oct;
+  }
+}
+
+TEST_P(OrderingLutTest, MonteCarloAndCentroidOrdersAgreeOnHead) {
+  // Tail positions of the modal order are noisy near-ties; the entries that
+  // dominate detection quality are the head of the order.  Both derivations
+  // must agree there.
+  Constellation c(GetParam());
+  fc::OrderingLut centroid(c, fc::LutSource::kCentroid);
+  fc::OrderingLut mc(c, fc::LutSource::kMonteCarlo, 4000, 77);
+  const auto& a = centroid.base_order();
+  const auto& b = mc.base_order();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0].di, 0);
+  EXPECT_EQ(b[0].di, 0);
+  int same_head = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    same_head += (a[i].di == b[i].di && a[i].dq == b[i].dq);
+  }
+  EXPECT_GE(same_head, 4) << "head-of-order disagreement";
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, OrderingLutTest, ::testing::Values(16, 64));
+
+TEST(OrderingLut, DeactivatesOutsideConstellation) {
+  Constellation c(16);
+  fc::OrderingLut lut(c);
+  // Effective point far beyond the corner: the slicer square center is off
+  // the grid, so some early entries must be invalid.
+  const double far = c.pam_level(c.side() - 1) + 3 * c.min_distance();
+  const cplx z{far, far};
+  int invalid = 0;
+  for (int k = 1; k <= c.order(); ++k) {
+    if (lut.kth_symbol(z, k) < 0) ++invalid;
+  }
+  EXPECT_GT(invalid, 0);
+}
+
+// --------------------------------------------------------------- detector
+
+TEST(FlexCore, SinglePathEqualsSic) {
+  // FlexCore's best path is [1,1,...,1]; walking it with the LUT's k=1
+  // (= slicing) is exactly ordered ZF-SIC.
+  Constellation c(16);
+  ch::Rng rng(21);
+  fc::FlexCoreConfig cfg;
+  cfg.num_pes = 1;
+  fc::FlexCoreDetector flex(c, cfg);
+  fd::SicDetector sic(c);
+  const double nv = ch::noise_var_for_snr_db(4.2);
+  for (int t = 0; t < 40; ++t) {
+    const CMat h = random_channel(6, 6, 1000 + static_cast<unsigned>(t));
+    CVec s(6);
+    std::vector<int> tx(6);
+    for (int u = 0; u < 6; ++u) {
+      tx[static_cast<std::size_t>(u)] =
+          static_cast<int>(rng.uniform_int(16));
+      s[static_cast<std::size_t>(u)] = c.point(tx[static_cast<std::size_t>(u)]);
+    }
+    const CVec y = ch::transmit(h, s, nv, rng);
+    flex.set_channel(h, nv);
+    sic.set_channel(h, nv);
+    EXPECT_EQ(flex.detect(y).symbols, sic.detect(y).symbols);
+  }
+}
+
+TEST(FlexCore, AllPathsWithExactOrderingIsML) {
+  // Position vectors biject onto tree leaves, so selecting all |Q|^Nt paths
+  // with exact per-level ordering makes FlexCore an exhaustive ML detector.
+  Constellation c(4);
+  ch::Rng rng(22);
+  fc::FlexCoreConfig cfg;
+  cfg.num_pes = 64;  // 4^3
+  cfg.ordering = fc::OrderingMode::kExactSort;
+  cfg.candidate_list_cap = 100000;
+  fc::FlexCoreDetector flex(c, cfg);
+  const double nv = ch::noise_var_for_snr_db(1.2);
+  for (int t = 0; t < 25; ++t) {
+    const CMat h = random_channel(3, 3, 2000 + static_cast<unsigned>(t));
+    CVec s(3);
+    for (int u = 0; u < 3; ++u) {
+      s[static_cast<std::size_t>(u)] = c.point(static_cast<int>(rng.uniform_int(4)));
+    }
+    const CVec y = ch::transmit(h, s, nv, rng);
+    flex.set_channel(h, nv);
+    EXPECT_EQ(flex.preprocessing().paths.size(), 64u);
+    const auto got = flex.detect(y);
+    const auto want = fd::exhaustive_ml(c, h, y);
+    EXPECT_EQ(got.symbols, want.symbols);
+    EXPECT_NEAR(got.metric, want.metric, 1e-9);
+  }
+}
+
+TEST(FlexCore, RecoversNoiseless) {
+  Constellation c(64);
+  ch::Rng rng(23);
+  fc::FlexCoreConfig cfg;
+  cfg.num_pes = 8;
+  fc::FlexCoreDetector flex(c, cfg);
+  for (int t = 0; t < 15; ++t) {
+    const CMat h = random_channel(8, 8, 3000 + static_cast<unsigned>(t));
+    CVec s(8);
+    std::vector<int> tx(8);
+    for (int u = 0; u < 8; ++u) {
+      tx[static_cast<std::size_t>(u)] = static_cast<int>(rng.uniform_int(64));
+      s[static_cast<std::size_t>(u)] = c.point(tx[static_cast<std::size_t>(u)]);
+    }
+    const CVec y = ch::transmit(h, s, 0.0, rng);
+    flex.set_channel(h, 1e-6);
+    EXPECT_EQ(flex.detect(y).symbols, tx);
+  }
+}
+
+TEST(FlexCore, MorePesNeverHurtStatistically) {
+  Constellation c(16);
+  const double nv = ch::noise_var_for_snr_db(4.0);
+  auto run = [&](std::size_t pes) {
+    ch::Rng rng(24);
+    fc::FlexCoreConfig cfg;
+    cfg.num_pes = pes;
+    fc::FlexCoreDetector flex(c, cfg);
+    std::size_t errors = 0;
+    for (int t = 0; t < 150; ++t) {
+      const CMat h = random_channel(8, 8, 4000 + static_cast<unsigned>(t));
+      CVec s(8);
+      std::vector<int> tx(8);
+      for (int u = 0; u < 8; ++u) {
+        tx[static_cast<std::size_t>(u)] = static_cast<int>(rng.uniform_int(16));
+        s[static_cast<std::size_t>(u)] = c.point(tx[static_cast<std::size_t>(u)]);
+      }
+      const CVec y = ch::transmit(h, s, nv, rng);
+      flex.set_channel(h, nv);
+      const auto res = flex.detect(y);
+      for (int u = 0; u < 8; ++u) {
+        errors += res.symbols[static_cast<std::size_t>(u)] !=
+                  tx[static_cast<std::size_t>(u)];
+      }
+    }
+    return errors;
+  };
+  const auto e1 = run(1);
+  const auto e16 = run(16);
+  const auto e64 = run(64);
+  EXPECT_LT(e16, e1);
+  EXPECT_LE(e64, e16);
+}
+
+TEST(FlexCore, BeatsFcsdAtEqualBudgetInOperatingRegime) {
+  // Fig. 9's headline claim at its operating regime: 64-QAM on correlated
+  // channels with a <= 3 dB user spread (the paper's scheduling rule) at an
+  // SNR near the PER_ML = 0.01 operating point.  At the FCSD's only
+  // affordable budget (|Q|^1 = 64 paths; the next step is 4096) FlexCore's
+  // channel-aware allocation wins, and FlexCore-128 — a budget the FCSD
+  // cannot express — improves further toward ML.
+  Constellation c(64);
+  const double nv = ch::noise_var_for_snr_db(17.0);
+
+  auto run = [&](fd::Detector& det) {
+    ch::Rng rng(25);
+    std::size_t err = 0;
+    for (int t = 0; t < 300; ++t) {
+      ch::Rng hrng(5000 + static_cast<unsigned>(t));
+      const auto gains = ch::bounded_user_gains(8, 3.0, hrng);
+      const CMat h = ch::kronecker_channel(8, 8, 0.4, gains, hrng);
+      CVec s(8);
+      std::vector<int> tx(8);
+      for (int u = 0; u < 8; ++u) {
+        tx[static_cast<std::size_t>(u)] = static_cast<int>(rng.uniform_int(64));
+        s[static_cast<std::size_t>(u)] = c.point(tx[static_cast<std::size_t>(u)]);
+      }
+      const CVec y = ch::transmit(h, s, nv, rng);
+      det.set_channel(h, nv);
+      const auto res = det.detect(y);
+      for (int u = 0; u < 8; ++u) {
+        err += res.symbols[static_cast<std::size_t>(u)] !=
+               tx[static_cast<std::size_t>(u)];
+      }
+    }
+    return err;
+  };
+
+  fc::FlexCoreConfig cfg64;
+  cfg64.num_pes = 64;
+  fc::FlexCoreConfig cfg128 = cfg64;
+  cfg128.num_pes = 128;
+  fc::FlexCoreDetector flex64(c, cfg64), flex128(c, cfg128);
+  fd::FcsdDetector fcsd(c, 1);  // 64 paths
+
+  const std::size_t e_flex64 = run(flex64);
+  const std::size_t e_flex128 = run(flex128);
+  const std::size_t e_fcsd = run(fcsd);
+
+  EXPECT_LT(e_flex64, e_fcsd) << "flex64=" << e_flex64 << " fcsd64=" << e_fcsd;
+  EXPECT_LE(e_flex128, e_flex64);
+  EXPECT_LT(e_flex128, e_fcsd);
+}
+
+TEST(FlexCore, PathMetricMatchesEvaluatePath) {
+  Constellation c(16);
+  ch::Rng rng(26);
+  fc::FlexCoreConfig cfg;
+  cfg.num_pes = 32;
+  fc::FlexCoreDetector flex(c, cfg);
+  const CMat h = random_channel(6, 6, 27);
+  const double nv = 0.05;
+  flex.set_channel(h, nv);
+  CVec s(6);
+  for (int u = 0; u < 6; ++u) s[static_cast<std::size_t>(u)] = c.point(3);
+  const CVec y = ch::transmit(h, s, nv, rng);
+  const CVec ybar = flex.rotate(y);
+  for (std::size_t p = 0; p < flex.active_paths(); ++p) {
+    const auto ev = flex.evaluate_path(ybar, p);
+    const double m = flex.path_metric(ybar, p);
+    if (ev.valid) {
+      EXPECT_NEAR(m, ev.metric, 1e-12);
+    } else {
+      EXPECT_TRUE(std::isinf(m));
+    }
+  }
+}
+
+TEST(FlexCore, AdaptiveUsesFewerPesOnCleanChannels) {
+  Constellation c(16);
+  fc::FlexCoreConfig cfg;
+  cfg.num_pes = 64;
+  cfg.adaptive_threshold = 0.95;
+  fc::FlexCoreDetector flex(c, cfg);
+
+  const CMat h = random_channel(8, 8, 28);
+  flex.set_channel(h, 1e-5);  // nearly noiseless
+  const std::size_t clean_paths = flex.active_paths();
+  EXPECT_LE(clean_paths, 4u);
+  EXPECT_GE(flex.active_pc_sum(), 0.95);
+
+  flex.set_channel(h, 0.6);  // very noisy
+  EXPECT_GT(flex.active_paths(), clean_paths);
+  EXPECT_LE(flex.active_paths(), 64u);
+}
+
+TEST(FlexCore, AdaptiveMatchesPlainWhenBudgetExhausted) {
+  // On a bad channel a-FlexCore saturates at num_pes and behaves like the
+  // plain detector.
+  Constellation c(64);
+  fc::FlexCoreConfig plain_cfg;
+  plain_cfg.num_pes = 16;
+  fc::FlexCoreConfig ad_cfg = plain_cfg;
+  ad_cfg.adaptive_threshold = 0.9999;  // unreachable on a noisy channel
+  fc::FlexCoreDetector plain(c, plain_cfg), adaptive(c, ad_cfg);
+  const CMat h = random_channel(8, 8, 29);
+  plain.set_channel(h, 0.8);
+  adaptive.set_channel(h, 0.8);
+  EXPECT_EQ(adaptive.active_paths(), plain.active_paths());
+
+  ch::Rng rng(30);
+  CVec s(8);
+  for (int u = 0; u < 8; ++u) s[static_cast<std::size_t>(u)] = c.point(10);
+  const CVec y = ch::transmit(h, s, 0.8, rng);
+  EXPECT_EQ(adaptive.detect(y).symbols, plain.detect(y).symbols);
+}
+
+TEST(FlexCore, StatsAccumulateAcrossPaths) {
+  Constellation c(16);
+  fc::FlexCoreConfig cfg;
+  cfg.num_pes = 8;
+  fc::FlexCoreDetector flex(c, cfg);
+  const CMat h = random_channel(6, 6, 31);
+  flex.set_channel(h, 0.05);
+  ch::Rng rng(32);
+  CVec s(6, c.point(0));
+  const CVec y = ch::transmit(h, s, 0.05, rng);
+  const auto res = flex.detect(y);
+  EXPECT_EQ(res.stats.paths_evaluated, 8u);
+  EXPECT_GT(res.stats.real_mults, 0u);
+  // Table 2 accounting: a full path costs 2*Nt*(Nt+1) real multiplications.
+  EXPECT_LE(res.stats.real_mults, 8u * 2u * 6u * 7u);
+}
+
+TEST(FlexCore, NameReflectsConfiguration) {
+  Constellation c(16);
+  fc::FlexCoreConfig cfg;
+  cfg.num_pes = 12;
+  EXPECT_EQ(fc::FlexCoreDetector(c, cfg).name(), "flexcore-12");
+  cfg.adaptive_threshold = 0.95;
+  EXPECT_EQ(fc::FlexCoreDetector(c, cfg).name(), "a-flexcore-12");
+}
+
+TEST(FlexCore, ZeroPesThrows) {
+  Constellation c(16);
+  fc::FlexCoreConfig cfg;
+  cfg.num_pes = 0;
+  EXPECT_THROW(fc::FlexCoreDetector(c, cfg), std::invalid_argument);
+}
+
+TEST(FlexCore, SoftOutputSignsMatchHardDecision) {
+  Constellation c(16);
+  fc::FlexCoreConfig cfg;
+  cfg.num_pes = 32;
+  fc::FlexCoreDetector flex(c, cfg);
+  ch::Rng rng(33);
+  const CMat h = random_channel(6, 6, 34);
+  const double nv = 0.02;
+  flex.set_channel(h, nv);
+  CVec s(6);
+  std::vector<int> tx(6);
+  for (int u = 0; u < 6; ++u) {
+    tx[static_cast<std::size_t>(u)] = static_cast<int>(rng.uniform_int(16));
+    s[static_cast<std::size_t>(u)] = c.point(tx[static_cast<std::size_t>(u)]);
+  }
+  const CVec y = ch::transmit(h, s, nv, rng);
+  const auto soft = flex.detect_soft(y);
+  EXPECT_EQ(soft.hard.symbols.size(), 6u);
+  for (std::size_t a = 0; a < 6; ++a) {
+    std::vector<std::uint8_t> bits;
+    c.unmap_bits(soft.hard.symbols[a], bits);
+    for (std::size_t b = 0; b < bits.size(); ++b) {
+      const double llr = soft.llrs[a][b];
+      if (bits[b] == 0) {
+        EXPECT_GE(llr, 0.0) << "a=" << a << " b=" << b;
+      } else {
+        EXPECT_LE(llr, 0.0) << "a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(FlexCore, LutOrderingErrorRateCloseToExactSort) {
+  // What matters is not decision-by-decision equality (the approximate
+  // order legitimately picks different — similar-quality — candidates) but
+  // that the error *rate* stays close to the exact-sort upper bound.
+  Constellation c(16);
+  const double nv = ch::noise_var_for_snr_db(5.2);
+  fc::FlexCoreConfig lut_cfg;
+  lut_cfg.num_pes = 16;
+  fc::FlexCoreConfig exact_cfg = lut_cfg;
+  exact_cfg.ordering = fc::OrderingMode::kExactSort;
+  exact_cfg.invalid_policy = fc::InvalidEntryPolicy::kSkipToValid;
+  fc::FlexCoreDetector lut_det(c, lut_cfg), exact_det(c, exact_cfg);
+
+  ch::Rng rng(35);
+  std::size_t lut_err = 0, exact_err = 0;
+  for (int t = 0; t < 300; ++t) {
+    const CMat h = random_channel(6, 6, 6000 + static_cast<unsigned>(t));
+    CVec s(6);
+    std::vector<int> tx(6);
+    for (int u = 0; u < 6; ++u) {
+      tx[static_cast<std::size_t>(u)] = static_cast<int>(rng.uniform_int(16));
+      s[static_cast<std::size_t>(u)] = c.point(tx[static_cast<std::size_t>(u)]);
+    }
+    const CVec y = ch::transmit(h, s, nv, rng);
+    lut_det.set_channel(h, nv);
+    exact_det.set_channel(h, nv);
+    const auto rl = lut_det.detect(y).symbols;
+    const auto re = exact_det.detect(y).symbols;
+    for (int u = 0; u < 6; ++u) {
+      lut_err += rl[static_cast<std::size_t>(u)] != tx[static_cast<std::size_t>(u)];
+      exact_err += re[static_cast<std::size_t>(u)] != tx[static_cast<std::size_t>(u)];
+    }
+  }
+  // LUT must stay within 40% relative of exact-sort (paper: "negligible").
+  EXPECT_LE(static_cast<double>(lut_err),
+            1.4 * static_cast<double>(exact_err) + 10.0)
+      << "lut_err=" << lut_err << " exact_err=" << exact_err;
+}

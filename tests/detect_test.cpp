@@ -1,0 +1,489 @@
+// Tests for the baseline detectors: linear, SIC, ML sphere decoder, FCSD,
+// K-best and the trellis detector of [50].
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "channel/channel.h"
+#include "detect/exhaustive.h"
+#include "detect/fcsd.h"
+#include "detect/kbest.h"
+#include "detect/linear.h"
+#include "detect/ml_sphere.h"
+#include "detect/sic.h"
+#include "detect/trellis.h"
+
+namespace fd = flexcore::detect;
+namespace ch = flexcore::channel;
+using flexcore::linalg::CMat;
+using flexcore::linalg::CVec;
+using flexcore::linalg::cplx;
+using flexcore::modulation::Constellation;
+
+namespace {
+
+struct Scenario {
+  CMat h;
+  CVec s;
+  std::vector<int> tx;
+  CVec y;
+};
+
+Scenario make_scenario(const Constellation& c, std::size_t nr, std::size_t nt,
+                       double noise_var, ch::Rng& rng) {
+  Scenario sc;
+  sc.h = ch::rayleigh_iid(nr, nt, rng);
+  sc.tx.resize(nt);
+  sc.s.resize(nt);
+  for (std::size_t u = 0; u < nt; ++u) {
+    sc.tx[u] = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(c.order())));
+    sc.s[u] = c.point(sc.tx[u]);
+  }
+  sc.y = ch::transmit(sc.h, sc.s, noise_var, rng);
+  return sc;
+}
+
+/// Quick uncoded symbol-error count over `trials` independent channels.
+template <typename MakeDetector>
+std::size_t count_symbol_errors(const Constellation& c, std::size_t nr,
+                                std::size_t nt, double noise_var,
+                                int trials, std::uint64_t seed,
+                                MakeDetector make) {
+  ch::Rng rng(seed);
+  auto det = make();
+  std::size_t errors = 0;
+  for (int t = 0; t < trials; ++t) {
+    const Scenario sc = make_scenario(c, nr, nt, noise_var, rng);
+    det->set_channel(sc.h, noise_var);
+    const auto res = det->detect(sc.y);
+    for (std::size_t u = 0; u < nt; ++u) errors += res.symbols[u] != sc.tx[u];
+  }
+  return errors;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ linear
+
+TEST(Linear, ZfRecoversNoiseless) {
+  Constellation c(16);
+  ch::Rng rng(1);
+  for (int t = 0; t < 20; ++t) {
+    const Scenario sc = make_scenario(c, 6, 4, 0.0, rng);
+    fd::LinearDetector det(c, fd::LinearKind::kZeroForcing);
+    det.set_channel(sc.h, 1e-3);
+    EXPECT_EQ(det.detect(sc.y).symbols, sc.tx);
+  }
+}
+
+TEST(Linear, MmseRecoversNoiseless) {
+  Constellation c(64);
+  ch::Rng rng(2);
+  for (int t = 0; t < 20; ++t) {
+    const Scenario sc = make_scenario(c, 8, 8, 0.0, rng);
+    fd::LinearDetector det(c, fd::LinearKind::kMmse);
+    det.set_channel(sc.h, 1e-6);
+    EXPECT_EQ(det.detect(sc.y).symbols, sc.tx);
+  }
+}
+
+TEST(Linear, MmseBeatsZfInSquareSystems) {
+  Constellation c(16);
+  const double nv = ch::noise_var_for_snr_db(5.0);
+  const auto zf = count_symbol_errors(c, 8, 8, nv, 400, 77, [&] {
+    return std::make_unique<fd::LinearDetector>(c, fd::LinearKind::kZeroForcing);
+  });
+  const auto mmse = count_symbol_errors(c, 8, 8, nv, 400, 77, [&] {
+    return std::make_unique<fd::LinearDetector>(c, fd::LinearKind::kMmse);
+  });
+  EXPECT_LT(mmse, zf);
+}
+
+TEST(Linear, EqualizeAppliesFilter) {
+  Constellation c(4);
+  ch::Rng rng(3);
+  const CMat h = ch::rayleigh_iid(4, 4, rng);
+  fd::LinearDetector det(c, fd::LinearKind::kZeroForcing);
+  det.set_channel(h, 0.01);
+  CVec s(4, cplx{1.0, 0.0});
+  const CVec x = det.equalize(h * s);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_LT(std::abs(x[i] - s[i]), 1e-8);
+}
+
+TEST(Linear, MetricIsTrueResidual) {
+  Constellation c(16);
+  ch::Rng rng(4);
+  const Scenario sc = make_scenario(c, 6, 6, 0.05, rng);
+  fd::LinearDetector det(c, fd::LinearKind::kMmse);
+  det.set_channel(sc.h, 0.05);
+  const auto res = det.detect(sc.y);
+  CVec shat(6);
+  for (std::size_t i = 0; i < 6; ++i) shat[i] = c.point(res.symbols[i]);
+  const CVec r = flexcore::linalg::sub(sc.y, sc.h * shat);
+  EXPECT_NEAR(res.metric, flexcore::linalg::norm2(r), 1e-9);
+}
+
+// --------------------------------------------------------------------- SIC
+
+TEST(Sic, RecoversNoiseless) {
+  Constellation c(64);
+  ch::Rng rng(5);
+  for (int t = 0; t < 20; ++t) {
+    const Scenario sc = make_scenario(c, 8, 8, 0.0, rng);
+    fd::SicDetector det(c);
+    det.set_channel(sc.h, 1e-6);
+    EXPECT_EQ(det.detect(sc.y).symbols, sc.tx);
+  }
+}
+
+TEST(Sic, BeatsPlainZfAtModerateSnr) {
+  Constellation c(16);
+  const double nv = ch::noise_var_for_snr_db(7.2);
+  const auto zf = count_symbol_errors(c, 6, 6, nv, 500, 88, [&] {
+    return std::make_unique<fd::LinearDetector>(c, fd::LinearKind::kZeroForcing);
+  });
+  const auto sic = count_symbol_errors(c, 6, 6, nv, 500, 88, [&] {
+    return std::make_unique<fd::SicDetector>(c);
+  });
+  EXPECT_LT(sic, zf);
+}
+
+// ------------------------------------------------------------- ML sphere
+
+TEST(Exhaustive, ThrowsOnHugeSearchSpace) {
+  Constellation c(64);
+  CMat h(8, 8);
+  EXPECT_THROW(fd::exhaustive_ml(c, h, CVec(8)), std::invalid_argument);
+}
+
+class MlVsExhaustive
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(MlVsExhaustive, SphereDecoderIsExactlyML) {
+  const auto [order, nt, snr_db] = GetParam();
+  Constellation c(order);
+  // Tuple SNRs were calibrated as receive-sum values; convert to per-user.
+  const double nv =
+      ch::noise_var_for_snr_db(snr_db - 10.0 * std::log10(static_cast<double>(nt)));
+  ch::Rng rng(100 + static_cast<unsigned>(order + nt));
+  fd::MlSphereDecoder sd(c);
+  for (int t = 0; t < 25; ++t) {
+    const Scenario sc = make_scenario(c, static_cast<std::size_t>(nt),
+                                      static_cast<std::size_t>(nt), nv, rng);
+    sd.set_channel(sc.h, nv);
+    const auto got = sd.detect(sc.y);
+    const auto want = fd::exhaustive_ml(c, sc.h, sc.y);
+    EXPECT_EQ(got.symbols, want.symbols) << "trial " << t;
+    EXPECT_NEAR(got.metric, want.metric, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallSystems, MlVsExhaustive,
+    ::testing::Values(std::tuple{4, 2, 8.0}, std::tuple{4, 3, 6.0},
+                      std::tuple{4, 4, 10.0}, std::tuple{16, 2, 12.0},
+                      std::tuple{16, 3, 14.0}, std::tuple{4, 5, 3.0}));
+
+TEST(MlSphere, UnsortedQrGivesSameAnswer) {
+  Constellation c(16);
+  const double nv = ch::noise_var_for_snr_db(7.2);
+  ch::Rng rng(6);
+  fd::MlSphereDecoder sorted(c);
+  fd::MlSphereDecoder unsorted(c, {.max_nodes = 0, .use_sorted_qr = false});
+  for (int t = 0; t < 20; ++t) {
+    const Scenario sc = make_scenario(c, 3, 3, nv, rng);
+    sorted.set_channel(sc.h, nv);
+    unsorted.set_channel(sc.h, nv);
+    EXPECT_EQ(sorted.detect(sc.y).symbols, unsorted.detect(sc.y).symbols);
+  }
+}
+
+TEST(MlSphere, SortedQrVisitsFewerNodes) {
+  Constellation c(16);
+  const double nv = ch::noise_var_for_snr_db(6.2);
+  ch::Rng rng(7);
+  fd::MlSphereDecoder sorted(c);
+  fd::MlSphereDecoder unsorted(c, {.max_nodes = 0, .use_sorted_qr = false});
+  std::uint64_t n_sorted = 0, n_unsorted = 0;
+  for (int t = 0; t < 30; ++t) {
+    const Scenario sc = make_scenario(c, 6, 6, nv, rng);
+    sorted.set_channel(sc.h, nv);
+    unsorted.set_channel(sc.h, nv);
+    n_sorted += sorted.detect(sc.y).stats.nodes_visited;
+    n_unsorted += unsorted.detect(sc.y).stats.nodes_visited;
+  }
+  EXPECT_LT(n_sorted, n_unsorted);
+}
+
+TEST(MlSphere, NodeCountDropsWithSnr) {
+  Constellation c(16);
+  ch::Rng rng(8);
+  fd::MlSphereDecoder sd(c);
+  std::uint64_t lo_snr_nodes = 0, hi_snr_nodes = 0;
+  for (int t = 0; t < 20; ++t) {
+    const double nv_lo = ch::noise_var_for_snr_db(-1.8);
+    const double nv_hi = ch::noise_var_for_snr_db(16.2);
+    Scenario sc = make_scenario(c, 6, 6, nv_lo, rng);
+    sd.set_channel(sc.h, nv_lo);
+    lo_snr_nodes += sd.detect(sc.y).stats.nodes_visited;
+    sc = make_scenario(c, 6, 6, nv_hi, rng);
+    sd.set_channel(sc.h, nv_hi);
+    hi_snr_nodes += sd.detect(sc.y).stats.nodes_visited;
+  }
+  EXPECT_LT(hi_snr_nodes, lo_snr_nodes);
+}
+
+TEST(MlSphere, TruncationStillReturnsACandidate) {
+  Constellation c(64);
+  const double nv = ch::noise_var_for_snr_db(1.0);
+  ch::Rng rng(9);
+  fd::MlSphereDecoder sd(c, {.max_nodes = 50, .use_sorted_qr = true});
+  const Scenario sc = make_scenario(c, 8, 8, nv, rng);
+  sd.set_channel(sc.h, nv);
+  const auto res = sd.detect(sc.y);
+  EXPECT_EQ(res.symbols.size(), 8u);
+  EXPECT_TRUE(std::isfinite(res.metric));
+  EXPECT_LE(res.stats.nodes_visited, 50u + 8u);
+}
+
+TEST(MlSphere, FlopCountersPopulated) {
+  Constellation c(16);
+  ch::Rng rng(10);
+  const double nv = ch::noise_var_for_snr_db(7.0);
+  fd::MlSphereDecoder sd(c);
+  const Scenario sc = make_scenario(c, 4, 4, nv, rng);
+  sd.set_channel(sc.h, nv);
+  const auto res = sd.detect(sc.y);
+  EXPECT_GT(res.stats.nodes_visited, 0u);
+  EXPECT_GT(res.stats.flops, res.stats.real_mults);
+}
+
+// -------------------------------------------------------------------- FCSD
+
+TEST(Fcsd, NumPathsIsPowerOfConstellation) {
+  Constellation c(16);
+  EXPECT_EQ(fd::FcsdDetector(c, 0).num_paths(), 1u);
+  EXPECT_EQ(fd::FcsdDetector(c, 1).num_paths(), 16u);
+  EXPECT_EQ(fd::FcsdDetector(c, 2).num_paths(), 256u);
+  EXPECT_EQ(fd::FcsdDetector(c, 1).parallel_tasks(), 16u);
+}
+
+TEST(Fcsd, FullExpansionEqualsExhaustiveML) {
+  Constellation c(4);
+  const double nv = ch::noise_var_for_snr_db(1.2);
+  ch::Rng rng(11);
+  fd::FcsdDetector det(c, 3);  // L = Nt: visits every leaf
+  for (int t = 0; t < 25; ++t) {
+    const Scenario sc = make_scenario(c, 3, 3, nv, rng);
+    det.set_channel(sc.h, nv);
+    const auto got = det.detect(sc.y);
+    const auto want = fd::exhaustive_ml(c, sc.h, sc.y);
+    EXPECT_EQ(got.symbols, want.symbols);
+    EXPECT_NEAR(got.metric, want.metric, 1e-8);
+  }
+}
+
+TEST(Fcsd, RecoversNoiseless) {
+  Constellation c(64);
+  ch::Rng rng(12);
+  fd::FcsdDetector det(c, 1);
+  for (int t = 0; t < 10; ++t) {
+    const Scenario sc = make_scenario(c, 8, 8, 0.0, rng);
+    det.set_channel(sc.h, 1e-6);
+    EXPECT_EQ(det.detect(sc.y).symbols, sc.tx);
+  }
+}
+
+TEST(Fcsd, MoreLevelsNeverHurt) {
+  Constellation c(16);
+  const double nv = ch::noise_var_for_snr_db(6.2);
+  const auto e1 = count_symbol_errors(c, 6, 6, nv, 300, 99, [&] {
+    return std::make_unique<fd::FcsdDetector>(c, 1);
+  });
+  const auto e2 = count_symbol_errors(c, 6, 6, nv, 300, 99, [&] {
+    return std::make_unique<fd::FcsdDetector>(c, 2);
+  });
+  EXPECT_LE(e2, e1);
+}
+
+TEST(Fcsd, BeatsLinearDetection) {
+  Constellation c(16);
+  const double nv = ch::noise_var_for_snr_db(5.0);
+  const auto mmse = count_symbol_errors(c, 8, 8, nv, 300, 101, [&] {
+    return std::make_unique<fd::LinearDetector>(c, fd::LinearKind::kMmse);
+  });
+  const auto fcsd = count_symbol_errors(c, 8, 8, nv, 300, 101, [&] {
+    return std::make_unique<fd::FcsdDetector>(c, 1);
+  });
+  EXPECT_LT(fcsd, mmse);
+}
+
+TEST(Fcsd, DetectEqualsBestPathEvaluation) {
+  Constellation c(16);
+  const double nv = ch::noise_var_for_snr_db(6.0);
+  ch::Rng rng(13);
+  fd::FcsdDetector det(c, 1);
+  const Scenario sc = make_scenario(c, 4, 4, nv, rng);
+  det.set_channel(sc.h, nv);
+  const auto res = det.detect(sc.y);
+
+  const CVec ybar = det.rotate(sc.y);
+  double best = 1e300;
+  for (std::size_t p = 0; p < det.num_paths(); ++p) {
+    best = std::min(best, det.evaluate_path(ybar, p).metric);
+  }
+  EXPECT_NEAR(res.metric, best, 1e-10);
+}
+
+TEST(Fcsd, PathMetricMatchesEvaluatePath) {
+  Constellation c(16);
+  const double nv = ch::noise_var_for_snr_db(6.0);
+  ch::Rng rng(14);
+  fd::FcsdDetector det(c, 2);
+  const Scenario sc = make_scenario(c, 4, 4, nv, rng);
+  det.set_channel(sc.h, nv);
+  const CVec ybar = det.rotate(sc.y);
+  for (std::size_t p = 0; p < det.num_paths(); p += 7) {
+    EXPECT_NEAR(det.path_metric(ybar, p), det.evaluate_path(ybar, p).metric,
+                1e-12);
+  }
+}
+
+TEST(Fcsd, TooManyLevelsThrows) {
+  Constellation c(16);
+  ch::Rng rng(15);
+  fd::FcsdDetector det(c, 5);
+  const CMat h = ch::rayleigh_iid(4, 4, rng);
+  EXPECT_THROW(det.set_channel(h, 0.1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ K-best
+
+TEST(KBest, ExactForTwoLayersWithFullWidth) {
+  Constellation c(16);
+  const double nv = ch::noise_var_for_snr_db(7.0);
+  ch::Rng rng(16);
+  fd::KBestDetector det(c, 16);  // K = |Q| keeps every level-1 prefix
+  for (int t = 0; t < 20; ++t) {
+    const Scenario sc = make_scenario(c, 2, 2, nv, rng);
+    det.set_channel(sc.h, nv);
+    const auto want = fd::exhaustive_ml(c, sc.h, sc.y);
+    EXPECT_EQ(det.detect(sc.y).symbols, want.symbols);
+  }
+}
+
+TEST(KBest, WiderIsNeverWorse) {
+  Constellation c(16);
+  const double nv = ch::noise_var_for_snr_db(6.2);
+  const auto e4 = count_symbol_errors(c, 6, 6, nv, 250, 111, [&] {
+    return std::make_unique<fd::KBestDetector>(c, 4);
+  });
+  const auto e32 = count_symbol_errors(c, 6, 6, nv, 250, 111, [&] {
+    return std::make_unique<fd::KBestDetector>(c, 32);
+  });
+  EXPECT_LE(e32, e4);
+}
+
+TEST(KBest, RecoversNoiseless) {
+  Constellation c(16);
+  ch::Rng rng(17);
+  fd::KBestDetector det(c, 8);
+  for (int t = 0; t < 10; ++t) {
+    const Scenario sc = make_scenario(c, 6, 6, 0.0, rng);
+    det.set_channel(sc.h, 1e-6);
+    EXPECT_EQ(det.detect(sc.y).symbols, sc.tx);
+  }
+}
+
+// ----------------------------------------------------------------- trellis
+
+TEST(Trellis, ExactForTwoAntennas) {
+  // With Nt = 2 the per-state survivor structure enumerates all |Q|^2
+  // hypotheses, so [50] is exact ML there.
+  Constellation c(16);
+  const double nv = ch::noise_var_for_snr_db(7.0);
+  ch::Rng rng(18);
+  fd::TrellisDetector det(c);
+  for (int t = 0; t < 20; ++t) {
+    const Scenario sc = make_scenario(c, 2, 2, nv, rng);
+    det.set_channel(sc.h, nv);
+    const auto want = fd::exhaustive_ml(c, sc.h, sc.y);
+    EXPECT_EQ(det.detect(sc.y).symbols, want.symbols);
+  }
+}
+
+TEST(Trellis, BetweenMmseAndMlForLargerArrays) {
+  // Fig. 9's qualitative ordering: MMSE < trellis [50] <= ML.
+  Constellation c(16);
+  const double nv = ch::noise_var_for_snr_db(6.2);
+  const auto mmse = count_symbol_errors(c, 6, 6, nv, 250, 121, [&] {
+    return std::make_unique<fd::LinearDetector>(c, fd::LinearKind::kMmse);
+  });
+  const auto trellis = count_symbol_errors(c, 6, 6, nv, 250, 121, [&] {
+    return std::make_unique<fd::TrellisDetector>(c);
+  });
+  const auto ml = count_symbol_errors(c, 6, 6, nv, 250, 121, [&] {
+    return std::make_unique<fd::MlSphereDecoder>(c);
+  });
+  EXPECT_LT(trellis, mmse);
+  EXPECT_LE(ml, trellis);
+}
+
+TEST(Trellis, FixedParallelTasks) {
+  Constellation c(64);
+  fd::TrellisDetector det(c);
+  EXPECT_EQ(det.parallel_tasks(), 64u);
+}
+
+TEST(Trellis, RecoversNoiseless) {
+  Constellation c(16);
+  ch::Rng rng(19);
+  fd::TrellisDetector det(c);
+  for (int t = 0; t < 10; ++t) {
+    const Scenario sc = make_scenario(c, 6, 6, 0.0, rng);
+    det.set_channel(sc.h, 1e-6);
+    EXPECT_EQ(det.detect(sc.y).symbols, sc.tx);
+  }
+}
+
+// --------------------------------------------------------- cross-detector
+
+TEST(AllDetectors, AgreeOnCleanChannel) {
+  Constellation c(16);
+  ch::Rng rng(20);
+  const Scenario sc = make_scenario(c, 6, 6, 0.0, rng);
+
+  std::vector<std::unique_ptr<fd::Detector>> dets;
+  dets.push_back(std::make_unique<fd::LinearDetector>(c, fd::LinearKind::kZeroForcing));
+  dets.push_back(std::make_unique<fd::LinearDetector>(c, fd::LinearKind::kMmse));
+  dets.push_back(std::make_unique<fd::SicDetector>(c));
+  dets.push_back(std::make_unique<fd::MlSphereDecoder>(c));
+  dets.push_back(std::make_unique<fd::FcsdDetector>(c, 1));
+  dets.push_back(std::make_unique<fd::KBestDetector>(c, 8));
+  dets.push_back(std::make_unique<fd::TrellisDetector>(c));
+
+  for (auto& det : dets) {
+    det->set_channel(sc.h, 1e-9);
+    EXPECT_EQ(det->detect(sc.y).symbols, sc.tx) << det->name();
+  }
+}
+
+TEST(AllDetectors, NamesAreUniqueAndNonEmpty) {
+  Constellation c(16);
+  std::vector<std::unique_ptr<fd::Detector>> dets;
+  dets.push_back(std::make_unique<fd::LinearDetector>(c, fd::LinearKind::kZeroForcing));
+  dets.push_back(std::make_unique<fd::LinearDetector>(c, fd::LinearKind::kMmse));
+  dets.push_back(std::make_unique<fd::SicDetector>(c));
+  dets.push_back(std::make_unique<fd::MlSphereDecoder>(c));
+  dets.push_back(std::make_unique<fd::FcsdDetector>(c, 1));
+  dets.push_back(std::make_unique<fd::FcsdDetector>(c, 2));
+  dets.push_back(std::make_unique<fd::KBestDetector>(c, 8));
+  dets.push_back(std::make_unique<fd::TrellisDetector>(c));
+  std::set<std::string> names;
+  for (auto& det : dets) {
+    EXPECT_FALSE(det->name().empty());
+    EXPECT_TRUE(names.insert(det->name()).second) << det->name();
+  }
+}

@@ -1,0 +1,234 @@
+// Cross-module integration tests: full coded links, engine consistency,
+// paper-level claims at the system level.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "channel/estimation.h"
+#include "channel/trace.h"
+#include "core/adaptive_kbest.h"
+#include "core/flexcore_detector.h"
+#include "detect/fcsd.h"
+#include "detect/kbest.h"
+#include "detect/linear.h"
+#include "detect/ml_sphere.h"
+#include "detect/sic.h"
+#include "detect/trellis.h"
+#include "sim/engine.h"
+#include "sim/montecarlo.h"
+
+namespace ch = flexcore::channel;
+namespace fc = flexcore::core;
+namespace fd = flexcore::detect;
+namespace fs = flexcore::sim;
+using flexcore::modulation::Constellation;
+
+namespace {
+
+fs::LinkConfig tiny_link(int qam) {
+  fs::LinkConfig cfg;
+  cfg.qam_order = qam;
+  cfg.info_bits_per_user = 200;
+  return cfg;
+}
+
+ch::TraceConfig trace_cfg(std::size_t nr, std::size_t nt) {
+  ch::TraceConfig cfg;
+  cfg.nr = nr;
+  cfg.nt = nt;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Integration, EveryDetectorDeliversCleanPacketsAtHighSnr) {
+  Constellation qam(16);
+  const fs::LinkConfig lcfg = tiny_link(16);
+  const ch::TraceConfig tcfg = trace_cfg(6, 4);
+  const double nv = ch::noise_var_for_snr_db(30.0);
+
+  std::vector<std::unique_ptr<fd::Detector>> dets;
+  dets.push_back(std::make_unique<fd::LinearDetector>(qam, fd::LinearKind::kZeroForcing));
+  dets.push_back(std::make_unique<fd::LinearDetector>(qam, fd::LinearKind::kMmse));
+  dets.push_back(std::make_unique<fd::SicDetector>(qam));
+  dets.push_back(std::make_unique<fd::MlSphereDecoder>(qam));
+  dets.push_back(std::make_unique<fd::FcsdDetector>(qam, 1));
+  dets.push_back(std::make_unique<fd::KBestDetector>(qam, 8));
+  dets.push_back(std::make_unique<fd::TrellisDetector>(qam));
+  dets.push_back(std::make_unique<fc::AdaptiveKBestDetector>(qam, 16));
+  {
+    fc::FlexCoreConfig cfg;
+    cfg.num_pes = 16;
+    dets.push_back(std::make_unique<fc::FlexCoreDetector>(qam, cfg));
+  }
+
+  for (auto& det : dets) {
+    const auto r = fs::measure_throughput(*det, lcfg, tcfg, nv, 3, 42);
+    EXPECT_EQ(r.avg_per, 0.0) << det->name();
+  }
+}
+
+TEST(Integration, ThroughputMonotoneInSnr) {
+  Constellation qam(16);
+  const fs::LinkConfig lcfg = tiny_link(16);
+  const ch::TraceConfig tcfg = trace_cfg(6, 6);
+  fc::FlexCoreConfig cfg;
+  cfg.num_pes = 32;
+  fc::FlexCoreDetector det(qam, cfg);
+
+  double prev = -1.0;
+  for (double snr : {4.0, 8.0, 12.0, 20.0}) {
+    const double nv = ch::noise_var_for_snr_db(snr);
+    const auto r = fs::measure_throughput(det, lcfg, tcfg, nv, 8, 42);
+    EXPECT_GE(r.throughput_mbps + 6.0, prev) << "snr=" << snr;  // small MC slack
+    prev = r.throughput_mbps;
+  }
+}
+
+TEST(Integration, MeasurementsAreDeterministicForFixedSeed) {
+  Constellation qam(16);
+  const fs::LinkConfig lcfg = tiny_link(16);
+  const ch::TraceConfig tcfg = trace_cfg(6, 6);
+  fd::SicDetector det(qam);
+  const double nv = ch::noise_var_for_snr_db(10.0);
+  const auto a = fs::measure_throughput(det, lcfg, tcfg, nv, 5, 99);
+  const auto b = fs::measure_throughput(det, lcfg, tcfg, nv, 5, 99);
+  EXPECT_EQ(a.throughput_mbps, b.throughput_mbps);
+  EXPECT_EQ(a.per_user_per, b.per_user_per);
+}
+
+TEST(Integration, FlexCoreBeatsFcsdOnCodedLinkAtOperatingPoint) {
+  // The Fig. 9 claim at the coded-link level, in the 64-QAM operating
+  // regime: FlexCore-128 achieves at least FCSD-64's throughput.
+  Constellation qam(64);
+  const fs::LinkConfig lcfg = tiny_link(64);
+  const ch::TraceConfig tcfg = trace_cfg(8, 8);
+  const double nv = ch::noise_var_for_snr_db(15.5);
+
+  fc::FlexCoreConfig cfg;
+  cfg.num_pes = 128;
+  fc::FlexCoreDetector flex(qam, cfg);
+  fd::FcsdDetector fcsd(qam, 1);
+
+  const auto rf = fs::measure_throughput(flex, lcfg, tcfg, nv, 10, 7);
+  const auto rc = fs::measure_throughput(fcsd, lcfg, tcfg, nv, 10, 7);
+  EXPECT_GE(rf.throughput_mbps + 1e-9, rc.throughput_mbps)
+      << "flex128=" << rf.throughput_mbps << " fcsd64=" << rc.throughput_mbps;
+}
+
+TEST(Integration, AdaptiveFlexCoreSavesWorkOnCleanChannels) {
+  Constellation qam(16);
+  const fs::LinkConfig lcfg = tiny_link(16);
+  const ch::TraceConfig tcfg = trace_cfg(8, 4);  // under-loaded AP
+  fc::FlexCoreConfig cfg;
+  cfg.num_pes = 64;
+  cfg.adaptive_threshold = 0.95;
+  fc::FlexCoreDetector det(qam, cfg);
+
+  const double nv = ch::noise_var_for_snr_db(22.0);
+  const auto r = fs::measure_throughput(det, lcfg, tcfg, nv, 4, 3);
+  EXPECT_EQ(r.avg_per, 0.0);
+  EXPECT_LT(r.avg_active_pes, 4.0) << "expected near-SIC complexity";
+}
+
+TEST(Integration, SoftLinkNeverLosesPacketsVsHard) {
+  Constellation qam(16);
+  const fs::LinkConfig lcfg = tiny_link(16);
+  const ch::TraceConfig tcfg = trace_cfg(6, 6);
+  fc::FlexCoreConfig cfg;
+  cfg.num_pes = 32;
+  fc::FlexCoreDetector det(qam, cfg);
+
+  // Near the PER cliff the soft extension should deliver at least as much.
+  const double nv = ch::noise_var_for_snr_db(8.0);
+  const auto hard = fs::measure_throughput(det, lcfg, tcfg, nv, 10, 5);
+  const auto soft = fs::measure_throughput_soft(det, lcfg, tcfg, nv, 10, 5);
+  EXPECT_GE(soft.throughput_mbps + 6.0, hard.throughput_mbps);
+}
+
+TEST(Integration, BatchEngineMatchesSequentialAcrossATrace) {
+  Constellation qam(64);
+  fc::FlexCoreConfig cfg;
+  cfg.num_pes = 32;
+  fc::FlexCoreDetector det(qam, cfg);
+
+  ch::TraceConfig tcfg = trace_cfg(12, 12);
+  tcfg.num_subcarriers = 8;
+  ch::TraceGenerator gen(tcfg, 21);
+  ch::Rng rng(22);
+  const auto trace = gen.next();
+  flexcore::parallel::ThreadPool pool(2);
+  const double nv = ch::noise_var_for_snr_db(18.0);
+
+  for (const auto& h : trace.per_subcarrier) {
+    det.set_channel(h, nv);
+    std::vector<flexcore::linalg::CVec> ys;
+    flexcore::linalg::CVec s(12);
+    for (int v = 0; v < 6; ++v) {
+      for (int u = 0; u < 12; ++u) {
+        s[static_cast<std::size_t>(u)] = qam.point(static_cast<int>(rng.uniform_int(64)));
+      }
+      ys.push_back(ch::transmit(h, s, nv, rng));
+    }
+    const auto batch = fs::batch_detect(det, det.active_paths(), ys, pool);
+    for (std::size_t v = 0; v < ys.size(); ++v) {
+      if (std::isinf(batch.best_metric[v])) {
+        // Every PE deactivated for this vector: detect() falls back to SIC
+        // (a caller-level policy the raw task grid does not replicate).
+        // Verify the engine's verdict is genuine.
+        const auto ybar = det.rotate(ys[v]);
+        for (std::size_t p = 0; p < det.active_paths(); ++p) {
+          EXPECT_FALSE(det.evaluate_path(ybar, p).valid);
+        }
+      } else {
+        EXPECT_NEAR(batch.best_metric[v], det.detect(ys[v]).metric, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Integration, EstimatedCsiLinkConvergesToGenie) {
+  Constellation qam(16);
+  fc::FlexCoreConfig cfg;
+  cfg.num_pes = 32;
+  fc::FlexCoreDetector det(qam, cfg);
+  ch::Rng rng(23);
+  const auto h = ch::rayleigh_iid(6, 6, rng);
+  const double nv = ch::noise_var_for_snr_db(12.0);
+
+  auto count_errors = [&](bool genie, std::size_t repeats) {
+    ch::Rng data_rng(24);
+    if (genie) {
+      det.set_channel(h, nv);
+    } else {
+      ch::Rng pilot_rng(25);
+      const auto est = ch::estimate_channel(h, nv, repeats, pilot_rng);
+      det.set_channel(est.h_hat, est.noise_var_hat);
+    }
+    std::size_t err = 0;
+    for (int v = 0; v < 200; ++v) {
+      flexcore::linalg::CVec s(6);
+      std::vector<int> tx(6);
+      for (int u = 0; u < 6; ++u) {
+        tx[static_cast<std::size_t>(u)] = static_cast<int>(data_rng.uniform_int(16));
+        s[static_cast<std::size_t>(u)] = qam.point(tx[static_cast<std::size_t>(u)]);
+      }
+      const auto y = ch::transmit(h, s, nv, data_rng);
+      const auto res = det.detect(y);
+      for (int u = 0; u < 6; ++u) {
+        err += res.symbols[static_cast<std::size_t>(u)] !=
+               tx[static_cast<std::size_t>(u)];
+      }
+    }
+    return err;
+  };
+
+  const auto genie = count_errors(true, 0);
+  const auto est64 = count_errors(false, 64);
+  const auto est1 = count_errors(false, 1);
+  EXPECT_LE(est64, est1);
+  EXPECT_LE(genie, est1);
+  // 64 pilot repeats should be within a small additive band of genie.
+  EXPECT_LE(est64, genie + 40);
+}

@@ -1,0 +1,369 @@
+// Unit and property tests for the linalg substrate.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/matrix.h"
+#include "linalg/qr.h"
+#include "linalg/solve.h"
+#include "linalg/svd.h"
+
+namespace fl = flexcore::linalg;
+using fl::cplx;
+using fl::CMat;
+using fl::CVec;
+
+namespace {
+
+CMat random_matrix(std::size_t rows, std::size_t cols, std::mt19937_64& gen) {
+  std::normal_distribution<double> n;
+  CMat m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = cplx{n(gen), n(gen)};
+  return m;
+}
+
+CVec random_vector(std::size_t n, std::mt19937_64& gen) {
+  std::normal_distribution<double> d;
+  CVec v(n);
+  for (auto& z : v) z = cplx{d(gen), d(gen)};
+  return v;
+}
+
+void expect_orthonormal(const CMat& q, double tol = 1e-9) {
+  const CMat g = q.hermitian() * q;
+  EXPECT_LT(CMat::max_abs_diff(g, CMat::identity(q.cols())), tol)
+      << "Q^H Q != I";
+}
+
+void expect_upper_triangular(const CMat& r, double tol = 1e-10) {
+  for (std::size_t i = 0; i < r.rows(); ++i)
+    for (std::size_t j = 0; j < i && j < r.cols(); ++j)
+      EXPECT_LT(std::abs(r(i, j)), tol) << "R(" << i << "," << j << ") nonzero";
+}
+
+CMat permuted(const CMat& h, const std::vector<std::size_t>& perm) {
+  CMat hp(h.rows(), h.cols());
+  for (std::size_t j = 0; j < h.cols(); ++j) hp.set_col(j, h.col(perm[j]));
+  return hp;
+}
+
+}  // namespace
+
+TEST(Matrix, InitializerListAndIndexing) {
+  CMat m{{cplx{1, 0}, cplx{2, 0}}, {cplx{3, 0}, cplx{4, 5}}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(1, 1), (cplx{4, 5}));
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((CMat{{cplx{1, 0}}, {cplx{1, 0}, cplx{2, 0}}}),
+               std::invalid_argument);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  std::mt19937_64 gen(1);
+  const CMat a = random_matrix(4, 4, gen);
+  const CMat i = CMat::identity(4);
+  EXPECT_LT(CMat::max_abs_diff(a * i, a), 1e-12);
+  EXPECT_LT(CMat::max_abs_diff(i * a, a), 1e-12);
+}
+
+TEST(Matrix, HermitianTwiceIsIdentityOp) {
+  std::mt19937_64 gen(2);
+  const CMat a = random_matrix(3, 5, gen);
+  EXPECT_LT(CMat::max_abs_diff(a.hermitian().hermitian(), a), 1e-15);
+}
+
+TEST(Matrix, MatVecMatchesMatMat) {
+  std::mt19937_64 gen(3);
+  const CMat a = random_matrix(4, 3, gen);
+  const CVec v = random_vector(3, gen);
+  CMat vm(3, 1);
+  for (std::size_t i = 0; i < 3; ++i) vm(i, 0) = v[i];
+  const CMat prod = a * vm;
+  const CVec pv = a * v;
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_LT(std::abs(prod(i, 0) - pv[i]), 1e-12);
+}
+
+TEST(Matrix, SwapColsIsInvolution) {
+  std::mt19937_64 gen(4);
+  CMat a = random_matrix(4, 4, gen);
+  const CMat orig = a;
+  a.swap_cols(1, 3);
+  a.swap_cols(1, 3);
+  EXPECT_LT(CMat::max_abs_diff(a, orig), 0.0 + 1e-15);
+}
+
+TEST(Matrix, FrobeniusNormOfIdentity) {
+  EXPECT_NEAR(CMat::identity(9).frobenius_norm(), 3.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- QR family
+
+class QrReconstruction : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrReconstruction, MgsFactorsAreValid) {
+  auto [nr, nt] = GetParam();
+  std::mt19937_64 gen(42u + static_cast<unsigned>(nr * 100 + nt));
+  const CMat h = random_matrix(static_cast<std::size_t>(nr),
+                               static_cast<std::size_t>(nt), gen);
+  const fl::QrResult qr = fl::qr_mgs(h);
+  expect_orthonormal(qr.Q);
+  expect_upper_triangular(qr.R);
+  EXPECT_LT(CMat::max_abs_diff(qr.Q * qr.R, h), 1e-9);
+}
+
+TEST_P(QrReconstruction, HouseholderFactorsAreValid) {
+  auto [nr, nt] = GetParam();
+  std::mt19937_64 gen(77u + static_cast<unsigned>(nr * 100 + nt));
+  const CMat h = random_matrix(static_cast<std::size_t>(nr),
+                               static_cast<std::size_t>(nt), gen);
+  const fl::QrResult qr = fl::qr_householder(h);
+  expect_orthonormal(qr.Q);
+  expect_upper_triangular(qr.R);
+  EXPECT_LT(CMat::max_abs_diff(qr.Q * qr.R, h), 1e-9);
+}
+
+TEST_P(QrReconstruction, MgsAndHouseholderAgreeOnR) {
+  auto [nr, nt] = GetParam();
+  std::mt19937_64 gen(99u + static_cast<unsigned>(nr * 100 + nt));
+  const CMat h = random_matrix(static_cast<std::size_t>(nr),
+                               static_cast<std::size_t>(nt), gen);
+  // Both conventions force real positive diagonals, so R is unique.
+  const CMat r1 = fl::qr_mgs(h).R;
+  const CMat r2 = fl::qr_householder(h).R;
+  EXPECT_LT(CMat::max_abs_diff(r1, r2), 1e-8);
+}
+
+TEST_P(QrReconstruction, SortedQrReconstructsPermuted) {
+  auto [nr, nt] = GetParam();
+  std::mt19937_64 gen(7u + static_cast<unsigned>(nr * 100 + nt));
+  const CMat h = random_matrix(static_cast<std::size_t>(nr),
+                               static_cast<std::size_t>(nt), gen);
+  const fl::QrResult qr = fl::sorted_qr_wubben(h);
+  expect_orthonormal(qr.Q);
+  expect_upper_triangular(qr.R);
+  EXPECT_LT(CMat::max_abs_diff(qr.Q * qr.R, permuted(h, qr.perm)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrReconstruction,
+                         ::testing::Values(std::pair{2, 2}, std::pair{4, 4},
+                                           std::pair{8, 8}, std::pair{12, 12},
+                                           std::pair{16, 12}, std::pair{12, 8},
+                                           std::pair{16, 16}));
+
+TEST(Qr, DiagonalIsRealPositive) {
+  std::mt19937_64 gen(11);
+  const CMat h = random_matrix(8, 8, gen);
+  for (const auto& qr : {fl::qr_mgs(h), fl::qr_householder(h),
+                         fl::sorted_qr_wubben(h)}) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_GT(qr.R(i, i).real(), 0.0);
+      EXPECT_NEAR(qr.R(i, i).imag(), 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Qr, RankDeficientThrows) {
+  CMat h(3, 2);
+  h(0, 0) = h(1, 0) = h(2, 0) = cplx{1.0, 0.0};
+  h.set_col(1, h.col(0));  // duplicate column
+  EXPECT_THROW(fl::qr_mgs(h), std::runtime_error);
+  EXPECT_THROW(fl::qr_householder(h), std::runtime_error);
+}
+
+TEST(Qr, WideMatrixThrows) {
+  std::mt19937_64 gen(12);
+  const CMat h = random_matrix(2, 4, gen);
+  EXPECT_THROW(fl::qr_mgs(h), std::runtime_error);
+}
+
+TEST(SortedQr, PermIsAPermutation) {
+  std::mt19937_64 gen(13);
+  const CMat h = random_matrix(12, 12, gen);
+  const fl::QrResult qr = fl::sorted_qr_wubben(h);
+  std::vector<bool> seen(12, false);
+  for (std::size_t p : qr.perm) {
+    ASSERT_LT(p, 12u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(SortedQr, UnpermuteRoundTrips) {
+  const std::vector<std::size_t> perm{2, 0, 1};
+  const std::vector<int> detected{10, 20, 30};
+  const std::vector<int> orig = fl::unpermute(detected, perm);
+  // detected[i] belongs to original antenna perm[i].
+  EXPECT_EQ(orig[2], 10);
+  EXPECT_EQ(orig[0], 20);
+  EXPECT_EQ(orig[1], 30);
+}
+
+TEST(FcsdQr, FullLevelsHaveWorstNoiseAmplification) {
+  // The stream with the largest ZF noise amplification must be assigned to
+  // the topmost (first-detected, fully-expanded) level.
+  std::mt19937_64 gen(14);
+  for (int trial = 0; trial < 20; ++trial) {
+    const CMat h = random_matrix(6, 6, gen);
+    const fl::QrResult qr = fl::fcsd_sorted_qr(h, 1);
+    expect_orthonormal(qr.Q);
+    EXPECT_LT(CMat::max_abs_diff(qr.Q * qr.R, permuted(h, qr.perm)), 1e-9);
+
+    const CMat ginv = fl::inverse(h.hermitian() * h);
+    std::size_t worst = 0;
+    for (std::size_t j = 1; j < 6; ++j) {
+      if (ginv(j, j).real() > ginv(worst, worst).real()) worst = j;
+    }
+    EXPECT_EQ(qr.perm.back(), worst);
+  }
+}
+
+TEST(FcsdQr, FullLevelsGreaterThanNtThrows) {
+  std::mt19937_64 gen(15);
+  const CMat h = random_matrix(4, 4, gen);
+  EXPECT_THROW(fl::fcsd_sorted_qr(h, 5), std::invalid_argument);
+}
+
+TEST(SolveUpper, BackSubstitution) {
+  std::mt19937_64 gen(16);
+  const CMat h = random_matrix(6, 6, gen);
+  const fl::QrResult qr = fl::qr_mgs(h);
+  const CVec x = random_vector(6, gen);
+  const CVec y = qr.R * x;
+  const CVec got = fl::solve_upper(qr.R, y);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_LT(std::abs(got[i] - x[i]), 1e-9);
+}
+
+// ---------------------------------------------------------------- solvers
+
+TEST(Inverse, TimesOriginalIsIdentity) {
+  std::mt19937_64 gen(21);
+  for (std::size_t n : {1u, 2u, 5u, 12u}) {
+    const CMat a = random_matrix(n, n, gen);
+    const CMat inv = fl::inverse(a);
+    EXPECT_LT(CMat::max_abs_diff(a * inv, CMat::identity(n)), 1e-8) << "n=" << n;
+    EXPECT_LT(CMat::max_abs_diff(inv * a, CMat::identity(n)), 1e-8) << "n=" << n;
+  }
+}
+
+TEST(Inverse, SingularThrows) {
+  CMat a(2, 2);
+  a(0, 0) = a(0, 1) = a(1, 0) = a(1, 1) = cplx{1.0, 0.0};
+  EXPECT_THROW(fl::inverse(a), std::runtime_error);
+}
+
+TEST(Solve, MatchesInverse) {
+  std::mt19937_64 gen(22);
+  const CMat a = random_matrix(7, 7, gen);
+  const CVec b = random_vector(7, gen);
+  const CVec x1 = fl::solve(a, b);
+  const CVec x2 = fl::inverse(a) * b;
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_LT(std::abs(x1[i] - x2[i]), 1e-8);
+}
+
+TEST(Cholesky, ReconstructsHermitianPd) {
+  std::mt19937_64 gen(23);
+  const CMat a = random_matrix(6, 6, gen);
+  const CMat g = a.hermitian() * a;  // Hermitian PD w.p. 1
+  const CMat l = fl::cholesky(g);
+  EXPECT_LT(CMat::max_abs_diff(l * l.hermitian(), g), 1e-9);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_GT(l(i, i).real(), 0.0);
+    for (std::size_t j = i + 1; j < 6; ++j) EXPECT_EQ(l(i, j), (cplx{0, 0}));
+  }
+}
+
+TEST(Cholesky, IndefiniteThrows) {
+  CMat a = CMat::identity(2);
+  a(1, 1) = cplx{-1.0, 0.0};
+  EXPECT_THROW(fl::cholesky(a), std::runtime_error);
+}
+
+TEST(Filters, ZfInvertsChannel) {
+  std::mt19937_64 gen(24);
+  const CMat h = random_matrix(8, 6, gen);
+  const CMat w = fl::zf_filter(h);
+  EXPECT_LT(CMat::max_abs_diff(w * h, CMat::identity(6)), 1e-8);
+}
+
+TEST(Filters, MmseApproachesZfAsNoiseVanishes) {
+  std::mt19937_64 gen(25);
+  const CMat h = random_matrix(8, 6, gen);
+  const CMat zf = fl::zf_filter(h);
+  const CMat mmse = fl::mmse_filter(h, 1e-12);
+  EXPECT_LT(CMat::max_abs_diff(zf, mmse), 1e-6);
+}
+
+TEST(Filters, MmseShrinksTowardZeroAtHighNoise) {
+  std::mt19937_64 gen(26);
+  const CMat h = random_matrix(6, 6, gen);
+  const CMat w = fl::mmse_filter(h, 1e9);
+  EXPECT_LT(w.frobenius_norm(), 1e-6);
+}
+
+// ---------------------------------------------------------------- SVD
+
+TEST(Svd, SingularValuesOfIdentity) {
+  const fl::RVec sv = fl::singular_values(CMat::identity(5));
+  for (double s : sv) EXPECT_NEAR(s, 1.0, 1e-10);
+}
+
+TEST(Svd, MatchesGramEigenvalues) {
+  std::mt19937_64 gen(31);
+  const CMat a = random_matrix(6, 4, gen);
+  const fl::RVec sv = fl::singular_values(a);
+  // sum sigma_i^2 == ||A||_F^2
+  double sum2 = 0.0;
+  for (double s : sv) sum2 += s * s;
+  EXPECT_NEAR(sum2, a.frobenius_norm() * a.frobenius_norm(), 1e-8);
+  // descending order
+  for (std::size_t i = 1; i < sv.size(); ++i) EXPECT_GE(sv[i - 1], sv[i]);
+}
+
+TEST(Svd, DiagonalMatrixSingularValues) {
+  CMat d(3, 3);
+  d(0, 0) = cplx{3.0, 0.0};
+  d(1, 1) = cplx{0.0, -2.0};  // magnitude 2
+  d(2, 2) = cplx{1.0, 0.0};
+  const fl::RVec sv = fl::singular_values(d);
+  EXPECT_NEAR(sv[0], 3.0, 1e-10);
+  EXPECT_NEAR(sv[1], 2.0, 1e-10);
+  EXPECT_NEAR(sv[2], 1.0, 1e-10);
+}
+
+TEST(Svd, ConditionNumberScalesWithIllConditioning) {
+  CMat d = CMat::identity(4);
+  d(3, 3) = cplx{1e-3, 0.0};
+  EXPECT_NEAR(fl::condition_number(d), 1e3, 1e-3);
+  EXPECT_NEAR(fl::condition_number(CMat::identity(4)), 1.0, 1e-10);
+}
+
+TEST(Svd, ProductWithUnitaryPreservesSingularValues) {
+  std::mt19937_64 gen(32);
+  const CMat a = random_matrix(5, 5, gen);
+  const fl::QrResult qr = fl::qr_mgs(random_matrix(5, 5, gen));
+  const fl::RVec s1 = fl::singular_values(a);
+  const fl::RVec s2 = fl::singular_values(qr.Q * a);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(s1[i], s2[i], 1e-8);
+}
+
+// Property: the Wübben ordering's first pivot is the minimum column norm —
+// R(0,0) of SQRD can never exceed R(0,0) of any column order, in particular
+// the natural one.
+TEST(SortedQr, FirstPivotIsMinimumColumnNorm) {
+  std::mt19937_64 gen(33);
+  for (int t = 0; t < 30; ++t) {
+    const CMat h = random_matrix(8, 8, gen);
+    const CMat r_plain = fl::qr_mgs(h).R;
+    const CMat r_sorted = fl::sorted_qr_wubben(h).R;
+    EXPECT_LE(std::abs(r_sorted(0, 0)), std::abs(r_plain(0, 0)) + 1e-9);
+    double min_norm = std::abs(r_sorted(0, 0));
+    for (std::size_t c = 0; c < 8; ++c) {
+      min_norm = std::min(min_norm, std::sqrt(fl::norm2(h.col(c))));
+    }
+    EXPECT_NEAR(std::abs(r_sorted(0, 0)), min_norm, 1e-9);
+  }
+}

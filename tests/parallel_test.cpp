@@ -1,0 +1,74 @@
+// Tests for the fork-join thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace fp = flexcore::parallel;
+
+TEST(ThreadPool, DefaultThreadCountPositive) {
+  EXPECT_GE(fp::default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  fp::ThreadPool pool(1);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+}
+
+TEST(ThreadPool, EveryIndexVisitedExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    fp::ThreadPool pool(threads);
+    const std::size_t n = 10007;  // prime, exercises ragged chunking
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoOp) {
+  fp::ThreadPool pool(4);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  fp::ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(97, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50u * 97u);
+}
+
+TEST(ThreadPool, ExplicitChunkSizeHonoursAllIndices) {
+  fp::ThreadPool pool(3);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(
+      n, [&](std::size_t i) { hits[i].fetch_add(1); }, /*chunk=*/7);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSequential) {
+  fp::ThreadPool pool(4);
+  const std::size_t n = 100000;
+  std::vector<double> data(n);
+  std::iota(data.begin(), data.end(), 0.0);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(n, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(data[i]), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), static_cast<long long>(n) * (n - 1) / 2);
+}
