@@ -11,11 +11,13 @@
 #include <numeric>
 #include <vector>
 
+#include "api/detector_registry.h"
 #include "bench_util.h"
 #include "channel/channel.h"
 #include "core/adaptive_kbest.h"
 #include "detect/kbest.h"
 
+namespace fa = flexcore::api;
 namespace ch = flexcore::channel;
 namespace fc = flexcore::core;
 namespace fd = flexcore::detect;
@@ -67,26 +69,29 @@ int main() {
   fb::rule();
 
   for (std::size_t k : {2u, 4u, 8u, 16u, 32u, 64u}) {
-    fd::KBestDetector kbest(qam, k);
-    const auto [ser, width] = run(kbest, qam, nt, nv, trials);
+    const auto kbest = fa::make_detector("kbest-" + std::to_string(k),
+                                         {.constellation = &qam});
+    const auto [ser, width] = run(*kbest, qam, nt, nv, trials);
     std::printf("%-22s %-12.4f %-18.1f\n",
                 ("kbest-" + std::to_string(k)).c_str(), ser, width);
   }
   for (std::size_t budget : {16u, 64u, 128u}) {
-    fc::AdaptiveKBestDetector akbest(qam, budget);
-    const auto [ser, width] = run(akbest, qam, nt, nv, trials);
+    const auto akbest = fa::make_detector("akbest-" + std::to_string(budget),
+                                          {.constellation = &qam});
+    const auto [ser, width] = run(*akbest, qam, nt, nv, trials);
     std::printf("%-22s %-12.4f %-18.1f\n",
                 ("akbest-" + std::to_string(budget)).c_str(), ser, width);
   }
 
   // Show a typical adaptive width profile.
-  fc::AdaptiveKBestDetector sample(qam, 64);
+  const auto sample = fa::make_detector_as<fc::AdaptiveKBestDetector>(
+      "akbest-64", {.constellation = &qam});
   ch::Rng hrng(5001);
   const auto gains = ch::bounded_user_gains(nt, 3.0, hrng);
   const auto h = ch::kronecker_channel(nt, nt, 0.4, gains, hrng);
-  sample.set_channel(h, nv);
+  sample->set_channel(h, nv);
   std::printf("\nper-level widths for one channel (budget 64): [");
-  const auto& widths = sample.level_widths();
+  const auto& widths = sample->level_widths();
   for (std::size_t l = 0; l < widths.size(); ++l) {
     std::printf("%zu%s", widths[l], l + 1 < widths.size() ? "," : "");
   }

@@ -11,10 +11,12 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/detector_registry.h"
 #include "bench_util.h"
 #include "channel/trace.h"
 #include "core/flexcore_detector.h"
 
+namespace fa = flexcore::api;
 namespace ch = flexcore::channel;
 namespace fc = flexcore::core;
 namespace fb = flexcore::bench;
@@ -32,9 +34,8 @@ int main() {
   fb::rule();
 
   for (double rho : {1.0, 0.999, 0.99, 0.95, 0.9, 0.8}) {
-    fc::FlexCoreConfig cfg;
-    cfg.num_pes = 64;
-    fc::FlexCoreDetector fresh(qam, cfg), stale(qam, cfg);
+    const auto fresh = fa::make_detector("flexcore-64", {.constellation = &qam});
+    const auto stale = fa::make_detector("flexcore-64", {.constellation = &qam});
 
     ch::Rng rng(25);
     std::size_t err_fresh = 0, err_stale = 0, symbols = 0;
@@ -47,12 +48,12 @@ int main() {
       ch::TraceGenerator gen(tcfg, 5000 + t);
       ch::ChannelTrace trace = gen.next();
       // The stale receiver installs the channel once, at age zero.
-      stale.set_channel(trace.per_subcarrier[0], nv);
+      stale->set_channel(trace.per_subcarrier[0], nv);
 
       for (int step = 0; step < 4; ++step) {
         trace = ch::evolve_trace(trace, rho, rng);
         const auto& h = trace.per_subcarrier[0];
-        fresh.set_channel(h, nv);
+        fresh->set_channel(h, nv);
 
         flexcore::linalg::CVec s(nt);
         std::vector<int> tx(nt);
@@ -61,8 +62,8 @@ int main() {
           s[u] = qam.point(tx[u]);
         }
         const auto y = ch::transmit(h, s, nv, rng);
-        const auto rf = fresh.detect(y);
-        const auto rs = stale.detect(y);
+        const auto rf = fresh->detect(y);
+        const auto rs = stale->detect(y);
         for (std::size_t u = 0; u < nt; ++u) {
           ++symbols;
           err_fresh += rf.symbols[u] != tx[u];

@@ -8,10 +8,12 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/detector_registry.h"
 #include "bench_util.h"
 #include "channel/estimation.h"
 #include "core/flexcore_detector.h"
 
+namespace fa = flexcore::api;
 namespace ch = flexcore::channel;
 namespace fc = flexcore::core;
 namespace fb = flexcore::bench;
@@ -31,9 +33,7 @@ int main() {
 
   // repeats = 0 encodes the genie (perfect CSI) row.
   for (std::size_t repeats : {0u, 1u, 4u, 16u, 64u, 256u}) {
-    fc::FlexCoreConfig cfg;
-    cfg.num_pes = 64;
-    fc::FlexCoreDetector det(qam, cfg);
+    const auto det = fa::make_detector("flexcore-64", {.constellation = &qam});
 
     ch::Rng rng(25);
     std::size_t errors = 0, symbols = 0;
@@ -44,13 +44,13 @@ int main() {
       const auto h = ch::kronecker_channel(nt, nt, 0.4, gains, hrng);
 
       if (repeats == 0) {
-        det.set_channel(h, nv);
+        det->set_channel(h, nv);
       } else {
         // Dedicated pilot RNG keeps the payload noise realizations
         // identical across rows, so SER differences are purely CSI quality.
         ch::Rng pilot_rng(9000 + t);
         const auto est = ch::estimate_channel(h, nv, repeats, pilot_rng);
-        det.set_channel(est.h_hat, est.noise_var_hat);
+        det->set_channel(est.h_hat, est.noise_var_hat);
         mse += ch::estimation_mse(h, est.h_hat);
         nv_bias += est.noise_var_hat / nv - 1.0;
       }
@@ -62,7 +62,7 @@ int main() {
         s[u] = qam.point(tx[u]);
       }
       const auto y = ch::transmit(h, s, nv, rng);
-      const auto res = det.detect(y);
+      const auto res = det->detect(y);
       for (std::size_t u = 0; u < nt; ++u) {
         ++symbols;
         errors += res.symbols[u] != tx[u];

@@ -8,11 +8,13 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/detector_registry.h"
 #include "bench_util.h"
 #include "channel/channel.h"
 #include "core/flexcore_detector.h"
 #include "perfmodel/fixed_path.h"
 
+namespace fa = flexcore::api;
 namespace ch = flexcore::channel;
 namespace fc = flexcore::core;
 namespace pm = flexcore::perfmodel;
@@ -34,16 +36,15 @@ int main() {
   for (const Case& cs : {Case{16, 11.0}, Case{16, 15.0}, Case{64, 15.0},
                          Case{64, 18.0}, Case{64, 22.0}}) {
     Constellation qam(cs.qam);
-    fc::FlexCoreConfig cfg;
-    cfg.num_pes = 64;
-    fc::FlexCoreDetector det(qam, cfg);
+    const auto det = fa::make_detector_as<fc::FlexCoreDetector>(
+        "flexcore-64", {.constellation = &qam});
     const double nv = ch::noise_var_for_snr_db(cs.snr);
 
     double agreement = 0.0;
     ch::Rng rng(7);
     for (std::size_t c = 0; c < channels; ++c) {
       const auto h = ch::rayleigh_iid(8, 8, rng);
-      det.set_channel(h, nv);
+      det->set_channel(h, nv);
       std::vector<flexcore::linalg::CVec> ys;
       flexcore::linalg::CVec s(8);
       for (std::size_t v = 0; v < vectors_per_channel; ++v) {
@@ -53,7 +54,7 @@ int main() {
         }
         ys.push_back(ch::transmit(h, s, nv, rng));
       }
-      agreement += pm::fixed_vs_double_agreement(det, ys);
+      agreement += pm::fixed_vs_double_agreement(*det, ys);
     }
     std::printf("%-10d %-8.1f %-16.4f\n", cs.qam, cs.snr,
                 agreement / static_cast<double>(channels));

@@ -9,10 +9,12 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/detector_registry.h"
 #include "bench_util.h"
 #include "channel/channel.h"
 #include "core/flexcore_detector.h"
 
+namespace fa = flexcore::api;
 namespace ch = flexcore::channel;
 namespace fc = flexcore::core;
 namespace fb = flexcore::bench;
@@ -52,11 +54,10 @@ int main() {
 
   double baseline_ser = 0.0;
   for (const auto& v : variants) {
-    fc::FlexCoreConfig cfg;
-    cfg.num_pes = 64;
-    cfg.ordering = v.ordering;
-    cfg.invalid_policy = v.policy;
-    fc::FlexCoreDetector det(qam, cfg);
+    fa::DetectorConfig acfg{.constellation = &qam};
+    acfg.flexcore.ordering = v.ordering;
+    acfg.flexcore.invalid_policy = v.policy;
+    const auto det = fa::make_detector("flexcore-64", acfg);
 
     ch::Rng rng(25);
     std::size_t errors = 0, symbols = 0;
@@ -72,9 +73,9 @@ int main() {
         s[u] = qam.point(tx[u]);
       }
       const auto y = ch::transmit(h, s, nv, rng);
-      det.set_channel(h, nv);
+      det->set_channel(h, nv);
       const auto t0 = std::chrono::steady_clock::now();
-      const auto res = det.detect(y);
+      const auto res = det->detect(y);
       seconds += std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - t0)
                      .count();

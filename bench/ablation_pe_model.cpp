@@ -8,10 +8,12 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/detector_registry.h"
 #include "bench_util.h"
 #include "channel/channel.h"
 #include "core/flexcore_detector.h"
 
+namespace fa = flexcore::api;
 namespace ch = flexcore::channel;
 namespace fc = flexcore::core;
 namespace fm = flexcore::modulation;
@@ -36,10 +38,10 @@ int main() {
     const double nv = ch::noise_var_for_snr_db(cs.snr);
     for (auto model : {fm::PeModel::kExactSer, fm::PeModel::kPaperErfc,
                        fm::PeModel::kRayleighCalibrated}) {
-      fc::FlexCoreConfig cfg;
-      cfg.num_pes = 64;
-      cfg.pe_model = model;
-      fc::FlexCoreDetector det(qam, cfg);
+      fa::DetectorConfig acfg{.constellation = &qam};
+      acfg.flexcore.pe_model = model;
+      const auto det =
+          fa::make_detector_as<fc::FlexCoreDetector>("flexcore-64", acfg);
 
       ch::Rng rng(25);
       std::size_t errors = 0, symbols = 0;
@@ -48,9 +50,9 @@ int main() {
         ch::Rng hrng(5000 + t);
         const auto gains = ch::bounded_user_gains(cs.nt, 3.0, hrng);
         const auto h = ch::kronecker_channel(cs.nt, cs.nt, 0.4, gains, hrng);
-        det.set_channel(h, nv);
+        det->set_channel(h, nv);
         if (t == 0) {
-          for (const auto& rp : det.preprocessing().paths) {
+          for (const auto& rp : det->preprocessing().paths) {
             for (std::size_t l = 0; l < cs.nt; ++l) {
               max_rank[l] = std::max(max_rank[l], rp.p[l]);
             }
@@ -64,7 +66,7 @@ int main() {
           s[u] = qam.point(tx[u]);
         }
         const auto y = ch::transmit(h, s, nv, rng);
-        const auto res = det.detect(y);
+        const auto res = det->detect(y);
         for (std::size_t u = 0; u < cs.nt; ++u) {
           ++symbols;
           errors += res.symbols[u] != tx[u];

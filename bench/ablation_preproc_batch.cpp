@@ -13,10 +13,12 @@
 #include <string>
 #include <vector>
 
+#include "api/detector_registry.h"
 #include "bench_util.h"
 #include "channel/channel.h"
 #include "core/flexcore_detector.h"
 
+namespace fa = flexcore::api;
 namespace ch = flexcore::channel;
 namespace fc = flexcore::core;
 namespace fb = flexcore::bench;
@@ -52,10 +54,11 @@ int main() {
     double overlap_sum = 0.0, pc_ratio_sum = 0.0;
     std::size_t errors = 0, symbols = 0;
 
-    fc::FlexCoreConfig cfg;
-    cfg.num_pes = npe;
-    cfg.batch_expand = batch;
-    fc::FlexCoreDetector det(qam, cfg);
+    fa::DetectorConfig acfg{.constellation = &qam};
+    acfg.flexcore.num_pes = npe;
+    acfg.flexcore.batch_expand = batch;
+    const auto det =
+        fa::make_detector_as<fc::FlexCoreDetector>("flexcore", acfg);
 
     ch::Rng rng(25);
     for (std::size_t t = 0; t < trials; ++t) {
@@ -63,7 +66,7 @@ int main() {
       const auto gains = ch::bounded_user_gains(nt, 3.0, hrng);
       const auto h = ch::kronecker_channel(nt, nt, 0.4, gains, hrng);
 
-      det.set_channel(h, nv);
+      det->set_channel(h, nv);
       if (t < 40) {  // overlap metric on a subsample (it needs a 2nd preproc)
         const auto qr = flexcore::linalg::sorted_qr_wubben(h);
         fc::PreprocessingConfig seq;
@@ -72,12 +75,12 @@ int main() {
         std::set<std::string> ref_keys;
         for (const auto& rp : ref.paths) ref_keys.insert(key_of(rp.p));
         std::size_t common = 0;
-        for (const auto& rp : det.preprocessing().paths) {
+        for (const auto& rp : det->preprocessing().paths) {
           common += ref_keys.count(key_of(rp.p));
         }
         overlap_sum += static_cast<double>(common) /
                        static_cast<double>(ref.paths.size());
-        pc_ratio_sum += det.preprocessing().pc_sum / ref.pc_sum;
+        pc_ratio_sum += det->preprocessing().pc_sum / ref.pc_sum;
       }
 
       flexcore::linalg::CVec s(nt);
@@ -87,7 +90,7 @@ int main() {
         s[u] = qam.point(tx[u]);
       }
       const auto y = ch::transmit(h, s, nv, rng);
-      const auto res = det.detect(y);
+      const auto res = det->detect(y);
       for (std::size_t u = 0; u < nt; ++u) {
         ++symbols;
         errors += res.symbols[u] != tx[u];

@@ -6,11 +6,13 @@
 // at the packet level, across SNRs and PE budgets.
 #include <cstdio>
 
+#include "api/detector_registry.h"
 #include "bench_util.h"
 #include "channel/trace.h"
 #include "core/flexcore_detector.h"
 #include "sim/montecarlo.h"
 
+namespace fa = flexcore::api;
 namespace ch = flexcore::channel;
 namespace fc = flexcore::core;
 namespace fs = flexcore::sim;
@@ -37,14 +39,13 @@ int main() {
   for (double snr : {14.0, 15.0, 16.0, 17.0}) {
     const double nv = ch::noise_var_for_snr_db(snr);
     for (std::size_t pes : {16u, 64u}) {
-      fc::FlexCoreConfig cfg;
-      cfg.num_pes = pes;
-      fc::FlexCoreDetector det(qam, cfg);
+      const auto det = fa::make_detector_as<fc::FlexCoreDetector>(
+          "flexcore-" + std::to_string(pes), {.constellation = &qam});
 
       const auto hard =
-          fs::measure_throughput(det, lcfg, tcfg, nv, packets, 11);
+          fs::measure_throughput(*det, lcfg, tcfg, nv, packets, 11);
       const auto soft =
-          fs::measure_throughput_soft(det, lcfg, tcfg, nv, packets, 11);
+          fs::measure_throughput_soft(*det, lcfg, tcfg, nv, packets, 11);
       std::printf("%-8.1f %-6zu %6.3f / %-13.1f %6.3f / %-13.1f %-+12.1f\n",
                   snr, pes, hard.avg_per, hard.throughput_mbps, soft.avg_per,
                   soft.throughput_mbps,

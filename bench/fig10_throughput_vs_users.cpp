@@ -6,13 +6,12 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/detector_registry.h"
 #include "bench_util.h"
 #include "channel/trace.h"
-#include "core/flexcore_detector.h"
-#include "detect/linear.h"
-#include "detect/ml_sphere.h"
 #include "sim/montecarlo.h"
 
+namespace fa = flexcore::api;
 namespace ch = flexcore::channel;
 namespace fc = flexcore::core;
 namespace fd = flexcore::detect;
@@ -36,11 +35,11 @@ int main() {
   ch::TraceConfig cal_cfg;
   cal_cfg.nr = 12;
   cal_cfg.nt = 12;
-  fd::MlSphereDecoder::Options ml_opt;
-  ml_opt.max_nodes = 20000;
-  fd::MlSphereDecoder ml(qam, ml_opt);
+  fa::DetectorConfig acfg{.constellation = &qam};
+  acfg.ml_sphere.max_nodes = 20000;
+  const auto ml = fa::make_detector("ml-sd", acfg);
   const double snr = fs::find_snr_for_per(
-      ml, lcfg, cal_cfg, 0.01, 2.0, 26.0, 7,
+      *ml, lcfg, cal_cfg, 0.01, 2.0, 26.0, 7,
       std::max<std::size_t>(packets / 2, 6), seed);
   const double nv = ch::noise_var_for_snr_db(snr);
   std::printf("calibrated SNR (PER_ML=0.01 at 12 users): %.2f dB\n\n", snr);
@@ -53,21 +52,18 @@ int main() {
     ch::TraceConfig tcfg = cal_cfg;
     tcfg.nt = users;
 
-    fd::LinearDetector mmse(qam, fd::LinearKind::kMmse);
-    fc::FlexCoreConfig flex_cfg;
-    flex_cfg.num_pes = 64;
-    fc::FlexCoreDetector flex(qam, flex_cfg);
-    fc::FlexCoreConfig ad_cfg = flex_cfg;
-    ad_cfg.adaptive_threshold = 0.95;
-    fc::FlexCoreDetector aflex(qam, ad_cfg);
+    const auto mmse = fa::make_detector("mmse", acfg);
+    const auto flex = fa::make_detector("flexcore-64", acfg);
+    const auto aflex = fa::make_detector("a-flexcore-64", acfg);
 
-    const auto r_ml = fs::measure_throughput(ml, lcfg, tcfg, nv, packets, seed);
+    const auto r_ml =
+        fs::measure_throughput(*ml, lcfg, tcfg, nv, packets, seed);
     const auto r_mmse =
-        fs::measure_throughput(mmse, lcfg, tcfg, nv, packets, seed);
+        fs::measure_throughput(*mmse, lcfg, tcfg, nv, packets, seed);
     const auto r_flex =
-        fs::measure_throughput(flex, lcfg, tcfg, nv, packets, seed);
+        fs::measure_throughput(*flex, lcfg, tcfg, nv, packets, seed);
     const auto r_aflex =
-        fs::measure_throughput(aflex, lcfg, tcfg, nv, packets, seed);
+        fs::measure_throughput(*aflex, lcfg, tcfg, nv, packets, seed);
 
     std::printf("%-7zu %-14.1f %-14.1f %-16.1f %-14.1f %-12.2f\n", users,
                 r_ml.throughput_mbps, r_mmse.throughput_mbps,

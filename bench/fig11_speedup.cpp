@@ -13,17 +13,16 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/detector_registry.h"
 #include "bench_util.h"
 #include "channel/channel.h"
-#include "core/flexcore_detector.h"
-#include "detect/fcsd.h"
+#include "detect/detector.h"
 #include "parallel/thread_pool.h"
-#include "sim/engine.h"
 
+namespace fa = flexcore::api;
 namespace ch = flexcore::channel;
 namespace fc = flexcore::core;
 namespace fd = flexcore::detect;
-namespace fs = flexcore::sim;
 namespace fb = flexcore::bench;
 using flexcore::modulation::Constellation;
 
@@ -47,15 +46,20 @@ std::vector<flexcore::linalg::CVec> make_batch(const flexcore::linalg::CMat& h,
   return ys;
 }
 
-template <typename D>
-double time_per_vector(const D& det, std::size_t paths,
+/// Best-of-`reps` per-vector wall-clock of detect_batch's task grid on
+/// `pool` (elapsed_seconds covers rotation + path grid + min-reduction,
+/// exactly what the old free-function engine timed).
+double time_per_vector(flexcore::detect::Detector& det,
                        const std::vector<flexcore::linalg::CVec>& ys,
                        flexcore::parallel::ThreadPool& pool, int reps) {
+  det.set_thread_pool(&pool);
+  flexcore::detect::BatchResult out;
   double best = 1e300;
   for (int r = 0; r < reps; ++r) {
-    const auto out = fs::batch_detect(det, paths, ys, pool);
+    det.detect_batch(ys, &out);
     best = std::min(best, out.elapsed_seconds / static_cast<double>(ys.size()));
   }
+  det.set_thread_pool(nullptr);  // pools may be loop-local; don't dangle
   return best;
 }
 
@@ -76,15 +80,15 @@ int main() {
   std::printf("(12x12, 64-QAM; pool = %zu hardware threads)\n\n", hw);
 
   // --- Baselines: FCSD L = 1 (64 paths) and L = 2 (4096 paths).
-  fd::FcsdDetector fcsd1(qam, 1), fcsd2(qam, 2);
-  fcsd1.set_channel(h, nv);
-  fcsd2.set_channel(h, nv);
+  const fa::DetectorConfig acfg{.constellation = &qam};
+  const auto fcsd1 = fa::make_detector("fcsd-L1", acfg);
+  const auto fcsd2 = fa::make_detector("fcsd-L2", acfg);
+  fcsd1->set_channel(h, nv);
+  fcsd2->set_channel(h, nv);
   const std::size_t base_nsc = 1024;
   const auto ys_base = make_batch(h, qam, base_nsc, nv, rng);
-  const double t_fcsd1 =
-      time_per_vector(fcsd1, fcsd1.num_paths(), ys_base, pool, reps);
-  const double t_fcsd2 =
-      time_per_vector(fcsd2, fcsd2.num_paths(), ys_base, pool, reps);
+  const double t_fcsd1 = time_per_vector(*fcsd1, ys_base, pool, reps);
+  const double t_fcsd2 = time_per_vector(*fcsd2, ys_base, pool, reps);
   std::printf("baseline FCSD (full pool, Nsc=%zu): L=1 %.3f us/vec, L=2 %.3f us/vec\n",
               base_nsc, t_fcsd1 * 1e6, t_fcsd2 * 1e6);
 
@@ -92,7 +96,7 @@ int main() {
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
     if (threads > 2 * hw) break;
     flexcore::parallel::ThreadPool p(threads);
-    const double t = time_per_vector(fcsd1, fcsd1.num_paths(), ys_base, p, reps);
+    const double t = time_per_vector(*fcsd1, ys_base, p, reps);
     std::printf("  FCSD L=1 on %zu thread(s): %.3f us/vec (%.2fx vs 1 thread "
                 "pool)\n",
                 threads, t * 1e6, t_fcsd1 > 0 ? t / t_fcsd1 : 0.0);
@@ -106,11 +110,10 @@ int main() {
   for (std::size_t nsc : {64u, 1024u, 16384u}) {
     const auto ys = make_batch(h, qam, nsc, nv, rng);
     for (std::size_t e : {8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
-      fc::FlexCoreConfig cfg;
-      cfg.num_pes = e;
-      fc::FlexCoreDetector flex(qam, cfg);
-      flex.set_channel(h, nv);
-      const double t = time_per_vector(flex, flex.active_paths(), ys, pool, reps);
+      const auto flex =
+          fa::make_detector("flexcore-" + std::to_string(e), acfg);
+      flex->set_channel(h, nv);
+      const double t = time_per_vector(*flex, ys, pool, reps);
       if (e == 128 && nsc == 1024) t_flex128_1024 = t;
       std::printf("%-8zu %-10zu %-16.3f %-16.2f %-16.2f\n", e, nsc, t * 1e6,
                   t_fcsd1 / t, t_fcsd2 / t);

@@ -17,17 +17,14 @@
 #include <map>
 #include <vector>
 
+#include "api/detector_registry.h"
 #include "bench_util.h"
 #include "channel/channel.h"
-#include "core/flexcore_detector.h"
-#include "detect/fcsd.h"
-#include "detect/ml_sphere.h"
-#include "detect/sic.h"
 #include "parallel/thread_pool.h"
 #include "perfmodel/lte_model.h"
-#include "sim/engine.h"
 #include "sim/montecarlo.h"
 
+namespace fa = flexcore::api;
 namespace ch = flexcore::channel;
 namespace fc = flexcore::core;
 namespace fd = flexcore::detect;
@@ -43,10 +40,8 @@ double measure_path_rate(std::size_t nt, const Constellation& qam) {
   ch::Rng rng(99);
   const auto h = ch::rayleigh_iid(nt, nt, rng);
   const double nv = ch::noise_var_for_snr_db(17.0);
-  fc::FlexCoreConfig cfg;
-  cfg.num_pes = 128;
-  fc::FlexCoreDetector flex(qam, cfg);
-  flex.set_channel(h, nv);
+  const auto flex = fa::make_detector("flexcore-128", {.constellation = &qam});
+  flex->set_channel(h, nv);
 
   std::vector<flexcore::linalg::CVec> ys;
   flexcore::linalg::CVec s(nt);
@@ -57,7 +52,9 @@ double measure_path_rate(std::size_t nt, const Constellation& qam) {
     ys.push_back(ch::transmit(h, s, nv, rng));
   }
   flexcore::parallel::ThreadPool pool(flexcore::parallel::default_thread_count());
-  const auto out = fs::batch_detect(flex, flex.active_paths(), ys, pool);
+  flex->set_thread_pool(&pool);
+  flexcore::detect::BatchResult out;
+  flex->detect_batch(ys, &out);
   return static_cast<double>(out.tasks) / out.elapsed_seconds;
 }
 
@@ -102,16 +99,16 @@ int main() {
     sc.nr = nt;
     sc.nt = nt;
     sc.qam_order = 64;
-    fd::MlSphereDecoder::Options mlo;
-    mlo.max_nodes = 50000;
-    fd::MlSphereDecoder ml(qam, mlo);
+    fa::DetectorConfig ml_cfg{.constellation = &qam};
+    ml_cfg.ml_sphere.max_nodes = 50000;
+    const auto ml = fa::make_detector("ml-sd", ml_cfg);
     const auto ml_ref =
-        fs::measure_vector_error_rate(ml, sc, ref_snr, channels, vectors, 5);
+        fs::measure_vector_error_rate(*ml, sc, ref_snr, channels, vectors, 5);
     const double target_ver = std::max(ml_ref.ver, 0.02);
     std::printf("reference: ML VER %.3f at %.1f dB; target VER %.3f\n",
                 ml_ref.ver, ref_snr, target_ver);
-    const double ml_snr =
-        find_snr_for_ver(ml, sc, target_ver, 8.0, 26.0, 6, channels, vectors, 5);
+    const double ml_snr = find_snr_for_ver(*ml, sc, target_ver, 8.0, 26.0, 6,
+                                           channels, vectors, 5);
 
     // SNR-loss cache per path budget (modes share budgets after capping).
     std::map<std::size_t, double> flex_loss;
@@ -119,10 +116,9 @@ int main() {
       paths = std::min<std::size_t>(std::max<std::size_t>(paths, 1), 1024);
       auto it = flex_loss.find(paths);
       if (it != flex_loss.end()) return it->second;
-      fc::FlexCoreConfig cfg;
-      cfg.num_pes = paths;
-      fc::FlexCoreDetector flex(qam, cfg);
-      const double snr = find_snr_for_ver(flex, sc, target_ver, 8.0, 34.0, 6,
+      const auto flex = fa::make_detector(
+          "flexcore-" + std::to_string(paths), {.constellation = &qam});
+      const double snr = find_snr_for_ver(*flex, sc, target_ver, 8.0, 34.0, 6,
                                           channels, vectors, 5);
       const double loss = snr - ml_snr;
       flex_loss[paths] = loss;
@@ -130,17 +126,18 @@ int main() {
     };
 
     // SIC = single-path reference.
-    fd::SicDetector sic(qam);
-    const double sic_snr =
-        find_snr_for_ver(sic, sc, target_ver, 8.0, 40.0, 6, channels, vectors, 5);
+    const auto sic = fa::make_detector("zf-sic", {.constellation = &qam});
+    const double sic_snr = find_snr_for_ver(*sic, sc, target_ver, 8.0, 40.0, 6,
+                                            channels, vectors, 5);
     const double sic_loss = sic_snr - ml_snr;
 
     // FCSD losses at its realizable levels.
     std::map<int, double> fcsd_loss;
     for (int level = 1; level <= 2; ++level) {
       if (level == 2 && nt == 12 && !full) break;  // keep default runtime low
-      fd::FcsdDetector fcsd(qam, static_cast<std::size_t>(level));
-      const double snr = find_snr_for_ver(fcsd, sc, target_ver, 8.0, 34.0, 6,
+      const auto fcsd = fa::make_detector("fcsd-L" + std::to_string(level),
+                                          {.constellation = &qam});
+      const double snr = find_snr_for_ver(*fcsd, sc, target_ver, 8.0, 34.0, 6,
                                           channels, vectors, 5);
       fcsd_loss[level] = snr - ml_snr;
     }

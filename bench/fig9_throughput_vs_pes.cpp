@@ -11,15 +11,13 @@
 #include <memory>
 #include <vector>
 
+#include "api/detector_registry.h"
 #include "bench_util.h"
 #include "channel/trace.h"
-#include "core/flexcore_detector.h"
 #include "detect/fcsd.h"
-#include "detect/linear.h"
-#include "detect/ml_sphere.h"
-#include "detect/trellis.h"
 #include "sim/montecarlo.h"
 
+namespace fa = flexcore::api;
 namespace ch = flexcore::channel;
 namespace fc = flexcore::core;
 namespace fd = flexcore::detect;
@@ -56,11 +54,11 @@ void run_panel(const Panel& p, std::size_t packets, bool full) {
   const std::uint64_t seed = 42;
 
   // --- Calibrate the operating SNR on the ML detector (paper methodology).
-  fd::MlSphereDecoder::Options ml_opt;
-  ml_opt.max_nodes = 20000;
-  fd::MlSphereDecoder ml(qam, ml_opt);
+  fa::DetectorConfig acfg{.constellation = &qam};
+  acfg.ml_sphere.max_nodes = 20000;
+  const auto ml = fa::make_detector("ml-sd", acfg);
   const std::size_t cal_packets = std::max<std::size_t>(packets / 2, 6);
-  const double snr = fs::find_snr_for_per(ml, lcfg, tcfg, p.target_per, 2.0,
+  const double snr = fs::find_snr_for_per(*ml, lcfg, tcfg, p.target_per, 2.0,
                                           26.0, 7, cal_packets, seed);
   const double nv = ch::noise_var_for_snr_db(snr);
 
@@ -77,32 +75,31 @@ void run_panel(const Panel& p, std::size_t packets, bool full) {
                 r.throughput_mbps, r.avg_per, note);
   };
 
-  report(ml, 1, "ML bound");
-  fd::LinearDetector mmse(qam, fd::LinearKind::kMmse);
-  report(mmse, 1, "linear");
-  fd::TrellisDetector trellis(qam);
-  report(trellis, static_cast<std::size_t>(p.qam), "fixed |Q| PEs");
+  report(*ml, 1, "ML bound");
+  const auto mmse = fa::make_detector("mmse", acfg);
+  report(*mmse, 1, "linear");
+  const auto trellis = fa::make_detector("trellis50", acfg);
+  report(*trellis, static_cast<std::size_t>(p.qam), "fixed |Q| PEs");
 
   // FlexCore PE sweep.
   std::vector<std::size_t> pes{1, 2, 4, 8, 16, 32, 64, 128, 196, 256};
   if (full) pes.push_back(512);
   for (std::size_t n_pe : pes) {
-    fc::FlexCoreConfig cfg;
-    cfg.num_pes = n_pe;
-    fc::FlexCoreDetector flex(qam, cfg);
-    report(flex, n_pe, "");
+    const auto flex =
+        fa::make_detector("flexcore-" + std::to_string(n_pe), acfg);
+    report(*flex, n_pe, "");
   }
 
   // FCSD: only |Q|^L budgets exist.
-  fd::FcsdDetector fcsd1(qam, 1);
-  report(fcsd1, fcsd1.num_paths(), "L=1");
+  const auto fcsd1 = fa::make_detector_as<fd::FcsdDetector>("fcsd-L1", acfg);
+  report(*fcsd1, fcsd1->num_paths(), "L=1");
   if (p.qam == 16 || full) {
-    fd::FcsdDetector fcsd2(qam, 2);
+    const auto fcsd2 = fa::make_detector_as<fd::FcsdDetector>("fcsd-L2", acfg);
     const std::size_t fcsd_packets = p.qam == 64 ? std::max<std::size_t>(packets / 2, 4) : packets;
     const auto r =
-        fs::measure_throughput(fcsd2, lcfg, tcfg, nv, fcsd_packets, seed);
-    std::printf("%-16s %-8zu %-18.1f %-10.3f %-12s\n", fcsd2.name().c_str(),
-                fcsd2.num_paths(), r.throughput_mbps, r.avg_per, "L=2");
+        fs::measure_throughput(*fcsd2, lcfg, tcfg, nv, fcsd_packets, seed);
+    std::printf("%-16s %-8zu %-18.1f %-10.3f %-12s\n", fcsd2->name().c_str(),
+                fcsd2->num_paths(), r.throughput_mbps, r.avg_per, "L=2");
   }
 }
 

@@ -2,6 +2,7 @@
 // QR decompositions, pre-processing, LUT lookup, single-path walk, Viterbi.
 #include <benchmark/benchmark.h>
 
+#include "api/detector_registry.h"
 #include "channel/channel.h"
 #include "coding/convolutional.h"
 #include "core/flexcore_detector.h"
@@ -9,6 +10,7 @@
 #include "core/preprocessing.h"
 #include "linalg/qr.h"
 
+namespace fa = flexcore::api;
 namespace ch = flexcore::channel;
 namespace fc = flexcore::core;
 namespace fl = flexcore::linalg;
@@ -84,33 +86,31 @@ BENCHMARK(BM_ExactKthNearest);
 
 void BM_FlexCorePathWalk(benchmark::State& state) {
   Constellation qam(64);
-  fc::FlexCoreConfig cfg;
-  cfg.num_pes = 128;
-  fc::FlexCoreDetector det(qam, cfg);
+  const auto det = fa::make_detector_as<fc::FlexCoreDetector>(
+      "flexcore-128", {.constellation = &qam});
   const auto h = channel_12x12();
   const double nv = 0.02;
-  det.set_channel(h, nv);
+  det->set_channel(h, nv);
   ch::Rng rng(3);
   fl::CVec s(12, qam.point(0));
   const auto y = ch::transmit(h, s, nv, rng);
-  const auto ybar = det.rotate(y);
+  const auto ybar = det->rotate(y);
   std::size_t p = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(det.path_metric(ybar, p));
-    p = (p + 1) % det.active_paths();
+    benchmark::DoNotOptimize(det->path_metric(ybar, p));
+    p = (p + 1) % det->active_paths();
   }
 }
 BENCHMARK(BM_FlexCorePathWalk);
 
 void BM_FlexCoreSetChannel(benchmark::State& state) {
   Constellation qam(64);
-  fc::FlexCoreConfig cfg;
-  cfg.num_pes = 128;
-  fc::FlexCoreDetector det(qam, cfg);
+  const auto det = fa::make_detector_as<fc::FlexCoreDetector>(
+      "flexcore-128", {.constellation = &qam});
   const auto h = channel_12x12();
   for (auto _ : state) {
-    det.set_channel(h, 0.02);
-    benchmark::DoNotOptimize(det.active_paths());
+    det->set_channel(h, 0.02);
+    benchmark::DoNotOptimize(det->active_paths());
   }
 }
 BENCHMARK(BM_FlexCoreSetChannel);

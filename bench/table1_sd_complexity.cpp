@@ -10,14 +10,14 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/detector_registry.h"
 #include "bench_util.h"
 #include "channel/channel.h"
-#include "detect/ml_sphere.h"
 #include "modulation/constellation.h"
 #include "ofdm/ofdm.h"
 
+namespace fa = flexcore::api;
 namespace ch = flexcore::channel;
-namespace fd = flexcore::detect;
 namespace fb = flexcore::bench;
 
 int main() {
@@ -34,14 +34,14 @@ int main() {
   fb::rule();
 
   for (std::size_t nt : {2u, 4u, 6u, 8u}) {
-    fd::MlSphereDecoder sd(qam);
+    const auto sd = fa::make_detector("ml-sd", {.constellation = &qam});
     ch::Rng rng(1000 + nt);
     std::uint64_t flops = 0, nodes = 0;
     std::size_t vec_errors = 0;
 
     for (std::size_t t = 0; t < trials; ++t) {
       const auto h = ch::rayleigh_iid(nt, nt, rng);
-      sd.set_channel(h, nv);
+      sd->set_channel(h, nv);
       flexcore::linalg::CVec s(nt);
       std::vector<int> tx(nt);
       for (std::size_t u = 0; u < nt; ++u) {
@@ -49,7 +49,7 @@ int main() {
         s[u] = qam.point(tx[u]);
       }
       const auto y = ch::transmit(h, s, nv, rng);
-      const auto res = sd.detect(y);
+      const auto res = sd->detect(y);
       flops += res.stats.flops;
       nodes += res.stats.nodes_visited;
       for (std::size_t u = 0; u < nt; ++u) {

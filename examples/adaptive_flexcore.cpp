@@ -8,6 +8,7 @@
 // channel hardens.
 #include <cstdio>
 
+#include "api/detector_registry.h"
 #include "channel/trace.h"
 #include "core/flexcore_detector.h"
 
@@ -18,10 +19,9 @@ namespace {
 double average_active_pes(std::size_t users, std::size_t antennas,
                           double snr_db, std::size_t num_channels) {
   modulation::Constellation qam(64);
-  core::FlexCoreConfig cfg;
-  cfg.num_pes = 64;
-  cfg.adaptive_threshold = 0.95;
-  core::FlexCoreDetector det(qam, cfg);
+  // "a-flexcore" defaults to the paper's 0.95 activation threshold.
+  const auto det = api::make_detector_as<core::FlexCoreDetector>(
+      "a-flexcore-64", {.constellation = &qam});
 
   channel::TraceConfig tcfg;
   tcfg.nr = antennas;
@@ -34,8 +34,8 @@ double average_active_pes(std::size_t users, std::size_t antennas,
   for (std::size_t c = 0; c < num_channels; ++c) {
     const auto trace = gen.next();
     for (std::size_t f = 0; f < trace.per_subcarrier.size(); f += 8) {
-      det.set_channel(trace.per_subcarrier[f], nv);
-      total += static_cast<double>(det.active_paths());
+      det->set_channel(trace.per_subcarrier[f], nv);
+      total += static_cast<double>(det->active_paths());
       ++installs;
     }
   }

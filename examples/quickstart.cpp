@@ -1,62 +1,79 @@
-// Quickstart: detect one 12x12 64-QAM MIMO vector with FlexCore.
+// Quickstart: detect a batch of 12x12 64-QAM MIMO vectors with FlexCore
+// through the public API.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/quickstart
 //
 // The flow below is the whole public API surface a basic user needs:
-//   1. pick a constellation,
-//   2. configure FlexCore with however many processing elements you have,
-//   3. install the channel (runs QR + pre-processing),
-//   4. detect received vectors until the channel changes.
+//   1. configure an UplinkPipeline with a registry spec ("flexcore-64",
+//      "fcsd-L2", "kbest-8", "mmse", ...),
+//   2. install the channel (runs QR + pre-processing),
+//   3. hand it batches of received vectors until the channel changes.
+// The pipeline owns the constellation and the thread pool, and routes the
+// batch through the detector's vector x path task grid.
 #include <cstdio>
 
+#include "api/uplink_pipeline.h"
 #include "channel/channel.h"
-#include "core/flexcore_detector.h"
 
 using namespace flexcore;
 
 int main() {
   const std::size_t num_users = 12;   // single-antenna uplink users
   const std::size_t ap_antennas = 12; // receive antennas at the AP
-  modulation::Constellation qam(64);
 
-  // A random uplink channel realization and a transmitted symbol vector.
+  // FlexCore with 64 processing elements behind the session facade.
+  api::PipelineConfig pcfg;
+  pcfg.detector = "flexcore-64";
+  pcfg.qam_order = 64;
+  api::UplinkPipeline pipe(pcfg);
+  const modulation::Constellation& qam = pipe.constellation();
+
+  // A random uplink channel realization and a batch of transmissions.
   channel::Rng rng(2017);  // NSDI'17 :-)
   const double noise_var = channel::noise_var_for_snr_db(18.0);
   const linalg::CMat h = channel::rayleigh_iid(ap_antennas, num_users, rng);
 
-  std::vector<int> tx_symbols(num_users);
+  const std::size_t batch_size = 8;  // e.g. OFDM symbols of one subcarrier
+  std::vector<std::vector<int>> tx(batch_size, std::vector<int>(num_users));
+  std::vector<linalg::CVec> ys;
   linalg::CVec s(num_users);
-  for (std::size_t u = 0; u < num_users; ++u) {
-    tx_symbols[u] = static_cast<int>(rng.uniform_int(64));
-    s[u] = qam.point(tx_symbols[u]);
+  for (std::size_t v = 0; v < batch_size; ++v) {
+    for (std::size_t u = 0; u < num_users; ++u) {
+      tx[v][u] = static_cast<int>(rng.uniform_int(64));
+      s[u] = qam.point(tx[v][u]);
+    }
+    ys.push_back(channel::transmit(h, s, noise_var, rng));
   }
-  const linalg::CVec y = channel::transmit(h, s, noise_var, rng);
 
-  // FlexCore with 64 processing elements.
-  core::FlexCoreConfig cfg;
-  cfg.num_pes = 64;
-  core::FlexCoreDetector detector(qam, cfg);
+  pipe.set_channel(h, noise_var);              // QR + pre-processing
+  const detect::BatchResult batch = pipe.detect(ys);  // task grid over pool
 
-  detector.set_channel(h, noise_var);    // QR + pre-processing (per channel)
-  const auto result = detector.detect(y);  // per received vector
-
-  std::printf("FlexCore (%zu PEs, %zu paths selected, sum Pc = %.4f)\n",
-              cfg.num_pes, detector.active_paths(), detector.active_pc_sum());
-  std::printf("%-6s %-12s %-12s %-8s\n", "user", "transmitted", "detected",
-              "ok?");
-  int correct = 0;
-  for (std::size_t u = 0; u < num_users; ++u) {
-    const bool ok = result.symbols[u] == tx_symbols[u];
+  std::printf("%s over %zu threads: %zu vectors x %zu paths = %zu tasks\n\n",
+              pipe.detector().name().c_str(), pipe.pool().size(), ys.size(),
+              pipe.detector().parallel_tasks(), batch.tasks);
+  std::printf("%-8s %-10s %-10s\n", "vector", "correct", "metric");
+  std::size_t correct = 0, total = 0;
+  for (std::size_t v = 0; v < batch_size; ++v) {
+    std::size_t ok = 0;
+    for (std::size_t u = 0; u < num_users; ++u) {
+      ok += batch.results[v].symbols[u] == tx[v][u];
+    }
     correct += ok;
-    std::printf("%-6zu %-12d %-12d %-8s\n", u, tx_symbols[u],
-                result.symbols[u], ok ? "yes" : "NO");
+    total += num_users;
+    std::printf("%-8zu %zu/%-8zu %-10.4f\n", v, ok, num_users,
+                batch.results[v].metric);
   }
-  std::printf("\n%d / %zu symbols correct; Euclidean metric %.4f; "
-              "%llu tree nodes walked across %llu parallel paths\n",
-              correct, num_users, result.metric,
-              static_cast<unsigned long long>(result.stats.nodes_visited),
-              static_cast<unsigned long long>(result.stats.paths_evaluated));
+  std::printf("\n%zu / %zu symbols correct; %llu tree nodes walked; "
+              "%zu SIC fallbacks\n",
+              correct, total,
+              static_cast<unsigned long long>(batch.stats.nodes_visited),
+              batch.sic_fallbacks);
+
+  // Single-vector detection remains available for latency-critical paths.
+  const auto one = pipe.detect_one(ys.front());
+  std::printf("single-vector path agrees: %s\n",
+              one.symbols == batch.results.front().symbols ? "yes" : "NO");
   return 0;
 }

@@ -3,18 +3,14 @@
 // 8-antenna AP; the AP decodes them with a range of detectors and reports
 // packet error rate and network throughput — the paper's §5.1 methodology
 // end to end.
+//
+// Every receiver is an api::UplinkPipeline built from a registry spec, so
+// adding a detector to the comparison is one string.
 #include <cstdio>
-#include <memory>
 #include <vector>
 
+#include "api/uplink_pipeline.h"
 #include "channel/trace.h"
-#include "core/flexcore_detector.h"
-#include "detect/fcsd.h"
-#include "detect/kbest.h"
-#include "detect/linear.h"
-#include "detect/ml_sphere.h"
-#include "detect/sic.h"
-#include "detect/trellis.h"
 #include "sim/montecarlo.h"
 
 using namespace flexcore;
@@ -33,7 +29,6 @@ int main() {
   trace.nt = users;
 
   const double noise_var = channel::noise_var_for_snr_db(snr_db);
-  modulation::Constellation qam(link.qam_order);
 
   std::printf("Uplink: %zu users -> %zu-antenna AP, 64-QAM, rate-1/2 coded, "
               "%.1f dB per-user SNR, %zu packets\n\n",
@@ -41,27 +36,23 @@ int main() {
   std::printf("%-16s %-8s %-12s %-20s %-14s\n", "detector", "PEs", "avg PER",
               "throughput (Mbit/s)", "tree nodes");
 
-  std::vector<std::unique_ptr<detect::Detector>> detectors;
-  detectors.push_back(
-      std::make_unique<detect::LinearDetector>(qam, detect::LinearKind::kMmse));
-  detectors.push_back(std::make_unique<detect::SicDetector>(qam));
-  detectors.push_back(std::make_unique<detect::TrellisDetector>(qam));
-  detectors.push_back(std::make_unique<detect::KBestDetector>(qam, 16));
-  detectors.push_back(std::make_unique<detect::FcsdDetector>(qam, 1));
-  for (std::size_t pes : {16u, 64u, 128u}) {
-    core::FlexCoreConfig cfg;
-    cfg.num_pes = pes;
-    detectors.push_back(std::make_unique<core::FlexCoreDetector>(qam, cfg));
-  }
-  detect::MlSphereDecoder::Options mlo;
-  mlo.max_nodes = 100000;
-  detectors.push_back(std::make_unique<detect::MlSphereDecoder>(qam, mlo));
+  std::vector<const char*> specs{"mmse",     "zf-sic",      "trellis50",
+                                 "kbest-16", "fcsd-L1",     "flexcore-16",
+                                 "flexcore-64", "flexcore-128", "ml-sd"};
 
-  for (auto& det : detectors) {
+  for (const char* spec : specs) {
+    api::PipelineConfig pcfg;
+    pcfg.detector = spec;
+    pcfg.qam_order = link.qam_order;
+    pcfg.tuning.ml_sphere.max_nodes = 100000;  // cap the ml-sd reference
+    api::UplinkPipeline pipe(pcfg);
+
     const auto r =
-        sim::measure_throughput(*det, link, trace, noise_var, packets, 7);
-    std::printf("%-16s %-8zu %-12.3f %-20.1f %llu\n", det->name().c_str(),
-                det->parallel_tasks(), r.avg_per, r.throughput_mbps,
+        sim::measure_throughput(pipe, link, trace, noise_var, packets, 7);
+    std::printf("%-16s %-8zu %-12.3f %-20.1f %llu\n",
+                pipe.detector().name().c_str(),
+                pipe.detector().parallel_tasks(), r.avg_per,
+                r.throughput_mbps,
                 static_cast<unsigned long long>(r.stats.nodes_visited));
   }
 

@@ -1,0 +1,66 @@
+#include "api/uplink_pipeline.h"
+
+#include <stdexcept>
+
+namespace flexcore::api {
+
+UplinkPipeline::UplinkPipeline(const PipelineConfig& cfg)
+    : cfg_(cfg),
+      constellation_(cfg.qam_order),
+      pool_(cfg.threads > 0 ? cfg.threads : parallel::default_thread_count()) {
+  DetectorConfig dcfg = cfg.tuning;
+  dcfg.constellation = &constellation_;
+  det_ = make_detector(cfg.detector, dcfg);
+  det_->set_thread_pool(&pool_);
+  flex_ = dynamic_cast<core::FlexCoreDetector*>(det_.get());
+}
+
+void UplinkPipeline::require_channel(const char* where) const {
+  if (!channel_set_) {
+    throw std::logic_error(std::string("UplinkPipeline::") + where +
+                           ": set_channel has not been called");
+  }
+}
+
+void UplinkPipeline::set_channel(const linalg::CMat& h, double noise_var) {
+  det_->set_channel(h, noise_var);
+  channel_set_ = true;
+  ++channel_installs_;
+}
+
+detect::BatchResult UplinkPipeline::detect(
+    std::span<const linalg::CVec> ys) {
+  require_channel("detect");
+  detect::BatchResult out;
+  det_->detect_batch(ys, &out);
+  vectors_detected_ += ys.size();
+  total_stats_ += out.stats;
+  return out;
+}
+
+detect::DetectionResult UplinkPipeline::detect_one(const linalg::CVec& y) {
+  require_channel("detect_one");
+  detect::DetectionResult res = det_->detect(y);
+  ++vectors_detected_;
+  total_stats_ += res.stats;
+  return res;
+}
+
+std::vector<core::SoftOutput> UplinkPipeline::detect_soft(
+    std::span<const linalg::CVec> ys) {
+  require_channel("detect_soft");
+  if (flex_ == nullptr) {
+    throw std::logic_error("UplinkPipeline::detect_soft: detector \"" +
+                           cfg_.detector + "\" has no soft output");
+  }
+  std::vector<core::SoftOutput> out;
+  out.reserve(ys.size());
+  for (const linalg::CVec& y : ys) {
+    out.push_back(flex_->detect_soft(y));
+    ++vectors_detected_;
+    total_stats_ += out.back().hard.stats;
+  }
+  return out;
+}
+
+}  // namespace flexcore::api

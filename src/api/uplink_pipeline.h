@@ -1,0 +1,100 @@
+// Session facade for uplink detection: owns the constellation, the thread
+// pool and a registry-constructed detector, and drives the per-channel
+// lifecycle the paper's receiver runs per subcarrier —
+//
+//   set_channel (QR + pre-processing)  →  batched detect  →  optional LLRs
+//
+// so OFDM / Monte-Carlo drivers stop hand-rolling it:
+//
+//   api::PipelineConfig pcfg;
+//   pcfg.detector = "flexcore-128";
+//   pcfg.qam_order = 64;
+//   api::UplinkPipeline pipe(pcfg);
+//   pipe.set_channel(h, noise_var);
+//   detect::BatchResult batch = pipe.detect(ys);   // thread-pool task grid
+//
+// The pipeline attaches its pool to the detector, so detect() routes
+// through the path-parallel detect_batch overrides where they exist and
+// the sequential loop otherwise.  This is the seam multi-channel sharding
+// and async submission plug into later.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/detector_registry.h"
+#include "core/flexcore_detector.h"
+#include "detect/detector.h"
+#include "modulation/constellation.h"
+#include "parallel/thread_pool.h"
+
+namespace flexcore::api {
+
+struct PipelineConfig {
+  /// Registry spec for the detector ("flexcore-64", "fcsd-L2", ...).
+  std::string detector = "flexcore-64";
+  int qam_order = 64;
+  /// Worker threads for the batch task grid (0 = all hardware threads).
+  std::size_t threads = 0;
+  /// Detector tuning forwarded to api::make_detector.  Its `constellation`
+  /// field is ignored — the pipeline owns the constellation.
+  DetectorConfig tuning;
+};
+
+class UplinkPipeline {
+ public:
+  explicit UplinkPipeline(const PipelineConfig& cfg);
+
+  /// Installs a new channel (runs the detector's per-channel
+  /// pre-processing).  Must be called before detect()/detect_soft().
+  void set_channel(const linalg::CMat& h, double noise_var);
+
+  /// Batched detection of vectors sharing the installed channel, through
+  /// the pipeline's thread pool.  Throws std::logic_error before the first
+  /// set_channel.
+  detect::BatchResult detect(std::span<const linalg::CVec> ys);
+
+  /// Convenience single-vector path (same contract as Detector::detect).
+  /// Counts toward the session lifecycle counters like detect().
+  detect::DetectionResult detect_one(const linalg::CVec& y);
+
+  /// List-based max-log LLRs per vector (the soft-output extension).
+  /// Only available when the configured detector supports soft output
+  /// (currently the flexcore/a-flexcore families); throws
+  /// std::logic_error otherwise — check supports_soft() first.
+  std::vector<core::SoftOutput> detect_soft(std::span<const linalg::CVec> ys);
+  bool supports_soft() const noexcept { return flex_ != nullptr; }
+
+  detect::Detector& detector() noexcept { return *det_; }
+  const detect::Detector& detector() const noexcept { return *det_; }
+  const modulation::Constellation& constellation() const noexcept {
+    return constellation_;
+  }
+  parallel::ThreadPool& pool() noexcept { return pool_; }
+  const PipelineConfig& config() const noexcept { return cfg_; }
+
+  /// Lifecycle counters aggregated across the session.
+  std::size_t channel_installs() const noexcept { return channel_installs_; }
+  std::size_t vectors_detected() const noexcept { return vectors_detected_; }
+  const detect::DetectionStats& total_stats() const noexcept {
+    return total_stats_;
+  }
+
+ private:
+  void require_channel(const char* where) const;
+
+  PipelineConfig cfg_;
+  modulation::Constellation constellation_;
+  parallel::ThreadPool pool_;
+  std::unique_ptr<detect::Detector> det_;
+  core::FlexCoreDetector* flex_ = nullptr;  // non-null iff soft-capable
+  bool channel_set_ = false;
+  std::size_t channel_installs_ = 0;
+  std::size_t vectors_detected_ = 0;
+  detect::DetectionStats total_stats_;
+};
+
+}  // namespace flexcore::api

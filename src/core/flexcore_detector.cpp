@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+
+#include "detect/path_grid.h"
+#include "parallel/thread_pool.h"
 
 namespace flexcore::core {
 
@@ -121,7 +125,8 @@ double FlexCoreDetector::path_metric(const CVec& ybar,
 }
 
 DetectionResult FlexCoreDetector::reduce(const CVec& ybar,
-                                         std::vector<PathEval>* keep_all) const {
+                                         std::vector<PathEval>* keep_all,
+                                         bool* fell) const {
   DetectionResult res;
   res.metric = std::numeric_limits<double>::infinity();
   bool any = false;
@@ -137,26 +142,89 @@ DetectionResult FlexCoreDetector::reduce(const CVec& ybar,
   }
   if (!any) {
     // Every PE was deactivated (possible only for tiny path budgets at
-    // extreme noise): fall back to the [1,1,...,1] path with exact slicing,
-    // which is always valid (it is plain SIC).
-    const std::size_t nt = qr_.R.cols();
-    std::vector<int> sym(nt);
-    CVec s(nt);
-    double metric = 0.0;
-    for (std::size_t ii = 0; ii < nt; ++ii) {
-      const std::size_t i = nt - 1 - ii;
-      cplx b = ybar[i];
-      for (std::size_t j = i + 1; j < nt; ++j) b -= qr_.R(i, j) * s[j];
-      sym[i] = constellation_->slice(b * r_diag_inv_[i]);
-      s[i] = constellation_->point(sym[i]);
-      metric += linalg::abs2(b - rx_[i][static_cast<std::size_t>(sym[i])]);
-    }
-    res.symbols = sym;
-    res.metric = metric;
+    // extreme noise).
+    sic_fallback_into(ybar, &res);
   }
+  if (fell != nullptr) *fell = !any;
   res.stats.paths_evaluated = active_paths_;
   res.symbols = linalg::unpermute(res.symbols, qr_.perm);
   return res;
+}
+
+void FlexCoreDetector::sic_fallback_into(const CVec& ybar,
+                                         DetectionResult* res) const {
+  const std::size_t nt = qr_.R.cols();
+  std::vector<int> sym(nt);
+  CVec s(nt);
+  double metric = 0.0;
+  for (std::size_t ii = 0; ii < nt; ++ii) {
+    const std::size_t i = nt - 1 - ii;
+    cplx b = ybar[i];
+    for (std::size_t j = i + 1; j < nt; ++j) b -= qr_.R(i, j) * s[j];
+    sym[i] = constellation_->slice(b * r_diag_inv_[i]);
+    s[i] = constellation_->point(sym[i]);
+    metric += linalg::abs2(b - rx_[i][static_cast<std::size_t>(sym[i])]);
+  }
+  res->symbols = std::move(sym);
+  res->metric = metric;
+}
+
+void FlexCoreDetector::detect_batch(std::span<const CVec> ys,
+                                    detect::BatchResult* out) const {
+  if (pool_ == nullptr || active_paths_ == 0 || ys.empty()) {
+    // Sequential loop with the base-class contract (full per-path
+    // instrumentation, tasks = vector count), but with the SIC-fallback
+    // counter kept consistent with the pooled grid path.
+    out->results.clear();
+    out->results.reserve(ys.size());
+    out->stats = DetectionStats{};
+    out->sic_fallbacks = 0;
+    out->tasks = ys.size();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const CVec& y : ys) {
+      bool fell = false;
+      out->results.push_back(reduce(rotate(y), nullptr, &fell));
+      out->stats += out->results.back().stats;
+      out->sic_fallbacks += fell;
+    }
+    out->elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return;
+  }
+  const std::size_t nv = ys.size();
+  const detect::PathGridOutput grid =
+      detect::run_path_grid(*this, active_paths_, ys, *pool_);
+
+  out->results.assign(nv, DetectionResult{});
+  out->stats = DetectionStats{};
+  out->sic_fallbacks = 0;
+  out->tasks = grid.tasks;
+  out->elapsed_seconds = grid.elapsed_seconds;
+
+  // Winner reconstruction: one instrumented path walk per vector (the grid
+  // itself runs the metric-only kernel), plus the SIC fallback for vectors
+  // whose every path was deactivated — the caller-level policy the raw task
+  // grid historically punted on.
+  std::vector<std::uint8_t> fell(nv, 0);
+  pool_->parallel_for(nv, [&](std::size_t v) {
+    DetectionResult& res = out->results[v];
+    if (std::isinf(grid.best_metric[v])) {
+      sic_fallback_into(grid.ybars[v], &res);
+      fell[v] = 1;
+    } else {
+      PathEval ev = evaluate_path(grid.ybars[v], grid.best_path[v]);
+      res.symbols = std::move(ev.symbols);
+      res.metric = ev.metric;
+      res.stats = ev.stats;
+    }
+    res.stats.paths_evaluated = active_paths_;
+    res.symbols = linalg::unpermute(res.symbols, qr_.perm);
+  });
+  for (std::size_t v = 0; v < nv; ++v) {
+    out->stats += out->results[v].stats;
+    out->sic_fallbacks += fell[v];
+  }
 }
 
 DetectionResult FlexCoreDetector::detect(const CVec& y) const {

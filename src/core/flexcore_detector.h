@@ -75,6 +75,18 @@ class FlexCoreDetector : public Detector {
 
   void set_channel(const CMat& h, double noise_var) override;
   DetectionResult detect(const CVec& y) const override;
+
+  /// Batched detection over the attached thread pool: fans the flat
+  /// vector x path grid (paper §4) across the pool, reconstructs the
+  /// winning path per vector, and applies the SIC fallback to vectors
+  /// whose every path was deactivated.  Symbols and metrics are identical
+  /// to per-vector detect(); see detect::BatchResult for the stats
+  /// contract.  Without an attached pool this falls back to the
+  /// sequential base-class loop.
+  void detect_batch(std::span<const CVec> ys,
+                    detect::BatchResult* out) const override;
+  void set_thread_pool(parallel::ThreadPool* pool) override { pool_ = pool; }
+
   std::string name() const override;
   std::size_t parallel_tasks() const override { return active_paths(); }
 
@@ -118,9 +130,18 @@ class FlexCoreDetector : public Detector {
   const OrderingLut& lut() const noexcept { return lut_; }
 
  private:
-  DetectionResult reduce(const CVec& ybar, std::vector<PathEval>* keep_all) const;
+  /// Sequential reduction over all active paths; sets *fell (when given) if
+  /// every path was deactivated and the SIC fallback produced the result.
+  DetectionResult reduce(const CVec& ybar, std::vector<PathEval>* keep_all,
+                         bool* fell = nullptr) const;
+
+  /// Fallback when every PE was deactivated: walks the [1,1,...,1] path
+  /// with exact slicing (plain SIC), which is always valid.  Fills
+  /// `res->symbols` in tree (permuted) order and `res->metric`.
+  void sic_fallback_into(const CVec& ybar, DetectionResult* res) const;
 
   const Constellation* constellation_;
+  parallel::ThreadPool* pool_ = nullptr;
   FlexCoreConfig cfg_;
   OrderingLut lut_;
   linalg::QrResult qr_;

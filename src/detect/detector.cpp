@@ -1,0 +1,26 @@
+#include "detect/detector.h"
+
+#include <chrono>
+
+namespace flexcore::detect {
+
+void Detector::set_thread_pool(parallel::ThreadPool* /*pool*/) {}
+
+void Detector::detect_batch(std::span<const CVec> ys, BatchResult* out) const {
+  out->results.clear();
+  out->results.reserve(ys.size());
+  out->stats = DetectionStats{};
+  out->sic_fallbacks = 0;
+  out->tasks = ys.size();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const CVec& y : ys) {
+    out->results.push_back(detect(y));
+    out->stats += out->results.back().stats;
+  }
+  out->elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
+}  // namespace flexcore::detect

@@ -9,11 +9,16 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "linalg/matrix.h"
 #include "modulation/constellation.h"
+
+namespace flexcore::parallel {
+class ThreadPool;
+}  // namespace flexcore::parallel
 
 namespace flexcore::detect {
 
@@ -52,6 +57,33 @@ struct DetectionResult {
   DetectionStats stats;
 };
 
+/// Output of one Detector::detect_batch call.
+///
+/// Batch API contract:
+///  * `results` holds one DetectionResult per input vector, in input order,
+///    identical (symbols and metric) to what per-vector detect() returns.
+///  * `stats` is the sum of the per-vector stats.  Path-parallel overrides
+///    (FlexCore, FCSD) run the grid with the uninstrumented metric-only
+///    kernel and attribute only the winning path's walk to each vector, so
+///    absolute counter values are lower than the sequential default loop's;
+///    `paths_evaluated` always reflects the full grid.
+///  * `sic_fallbacks` counts vectors for which every path was deactivated
+///    (FlexCore's out-of-constellation policy) and the detector fell back
+///    to plain SIC slicing — the policy sim::batch_detect used to punt to
+///    callers now lives inside detect_batch.
+///  * `tasks` is the units of parallel work (vectors * paths for grid
+///    detectors, plain vector count for the sequential default).
+///  * `elapsed_seconds` is the wall-clock of the detection kernel (for grid
+///    overrides: rotation + path grid + min-reduction, the paper's Fig. 11
+///    timing; winner reconstruction is excluded).
+struct BatchResult {
+  std::vector<DetectionResult> results;
+  DetectionStats stats;
+  std::size_t sic_fallbacks = 0;
+  std::size_t tasks = 0;
+  double elapsed_seconds = 0.0;
+};
+
 /// Abstract MIMO detector.
 class Detector {
  public:
@@ -64,7 +96,21 @@ class Detector {
   /// Detects one received vector.  Requires a prior set_channel call.
   virtual DetectionResult detect(const CVec& y) const = 0;
 
-  /// Short identifier used in benchmark tables ("flexcore", "fcsd-L2", ...).
+  /// Detects a batch of received vectors sharing the installed channel.
+  /// This is the primary entry point for drivers: the base implementation
+  /// is a sequential detect() loop; path-parallel detectors (FlexCore,
+  /// FCSD) override it to fan the flat vector x path task grid across the
+  /// attached thread pool (see set_thread_pool).  See BatchResult for the
+  /// output contract.
+  virtual void detect_batch(std::span<const CVec> ys, BatchResult* out) const;
+
+  /// Attaches a (non-owning) thread pool for detect_batch overrides to fan
+  /// work across; pass nullptr to detach.  Sequential detectors ignore it.
+  /// api::UplinkPipeline wires its own pool in automatically.
+  virtual void set_thread_pool(parallel::ThreadPool* pool);
+
+  /// Short identifier used in benchmark tables ("flexcore-64", "fcsd-L2",
+  /// ...).  api::make_detector accepts exactly these spellings.
   virtual std::string name() const = 0;
 
   /// Number of parallel tasks (processing elements at minimum latency) this

@@ -5,6 +5,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "detect/path_grid.h"
+#include "parallel/thread_pool.h"
+
 namespace flexcore::detect {
 
 void FcsdDetector::set_channel(const CMat& h, double /*noise_var*/) {
@@ -121,6 +124,35 @@ DetectionResult FcsdDetector::detect(const CVec& y) const {
   res.symbols = linalg::unpermute(res.symbols, qr_.perm);
   res.stats.paths_evaluated = paths;
   return res;
+}
+
+void FcsdDetector::detect_batch(std::span<const CVec> ys,
+                                BatchResult* out) const {
+  const std::size_t paths = num_paths();
+  if (pool_ == nullptr || paths == 0 || ys.empty()) {
+    Detector::detect_batch(ys, out);
+    return;
+  }
+  const std::size_t nv = ys.size();
+  const PathGridOutput grid = run_path_grid(*this, paths, ys, *pool_);
+
+  out->results.assign(nv, DetectionResult{});
+  out->stats = DetectionStats{};
+  out->sic_fallbacks = 0;  // every FCSD path is always valid
+  out->tasks = grid.tasks;
+  out->elapsed_seconds = grid.elapsed_seconds;
+
+  // Winner reconstruction: one instrumented path walk per vector (the grid
+  // itself runs the metric-only kernel).
+  pool_->parallel_for(nv, [&](std::size_t v) {
+    PathEval ev = evaluate_path(grid.ybars[v], grid.best_path[v]);
+    DetectionResult& res = out->results[v];
+    res.symbols = linalg::unpermute(ev.symbols, qr_.perm);
+    res.metric = ev.metric;
+    res.stats = ev.stats;
+    res.stats.paths_evaluated = paths;
+  });
+  for (const DetectionResult& res : out->results) out->stats += res.stats;
 }
 
 }  // namespace flexcore::detect

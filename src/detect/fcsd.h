@@ -22,6 +22,16 @@ class FcsdDetector : public Detector {
 
   void set_channel(const CMat& h, double noise_var) override;
   DetectionResult detect(const CVec& y) const override;
+
+  /// Batched detection over the attached thread pool: fans the flat
+  /// vector x path grid (all |Q|^L paths per vector) across the pool and
+  /// reconstructs the winning path per vector.  Symbols and metrics are
+  /// identical to per-vector detect(); without an attached pool this falls
+  /// back to the sequential base-class loop.
+  void detect_batch(std::span<const CVec> ys,
+                    BatchResult* out) const override;
+  void set_thread_pool(parallel::ThreadPool* pool) override { pool_ = pool; }
+
   std::string name() const override {
     return "fcsd-L" + std::to_string(full_levels_);
   }
@@ -55,6 +65,7 @@ class FcsdDetector : public Detector {
  private:
   const Constellation* constellation_;
   std::size_t full_levels_;
+  parallel::ThreadPool* pool_ = nullptr;
   linalg::QrResult qr_;
   std::vector<CVec> rx_;  // rx_[i][x] = R(i,i) * point(x)
 };

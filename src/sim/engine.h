@@ -1,87 +1,31 @@
-// Parallel detection engine: maps the (vector x path) task grid onto a
-// thread pool.
-//
-// This is the CPU stand-in for the paper's GPU kernel launch (§4): the GPU
-// implementation generates Nsc * |E| threads (FlexCore) or Nsc * |Q|^L
-// threads (FCSD); here the same flat task grid is executed by a ThreadPool,
-// and the Fig. 11 benchmark times exactly this call for both detectors.
+// DEPRECATED shim.  The (vector x path) task grid moved to
+// detect/path_grid.h, and batching is now part of the Detector interface
+// itself: prefer Detector::detect_batch (with a pool attached via
+// set_thread_pool, or through api::UplinkPipeline), which also applies the
+// SIC-fallback policy this free-function grid punts to callers.
 #pragma once
 
-#include <chrono>
-#include <concepts>
 #include <cstddef>
-#include <limits>
+#include <span>
 #include <vector>
 
-#include "linalg/types.h"
-#include "parallel/thread_pool.h"
+#include "detect/path_grid.h"
 
 namespace flexcore::sim {
 
-/// A detector whose per-vector work decomposes into independent fixed paths.
-template <typename D>
-concept PathParallelDetector = requires(const D& d, const linalg::CVec& y,
-                                        std::size_t i) {
-  { d.path_metric(y, i) } -> std::convertible_to<double>;
-  { d.rotate(y) } -> std::convertible_to<linalg::CVec>;
-};
+using detect::PathParallelDetector;
 
-/// Output of one batched detection call.
-///
-/// A best_metric of +infinity means every path of that vector was
-/// deactivated (FlexCore's out-of-constellation policy); the sequential
-/// FlexCoreDetector::detect falls back to plain SIC in that case, which is
-/// a caller-level policy the raw task grid intentionally does not
-/// replicate — handle it (or ignore it for timing purposes) at the caller.
-struct BatchDetectOutput {
-  std::vector<std::size_t> best_path;  ///< winning path index per vector
-  std::vector<double> best_metric;     ///< its Euclidean distance
-  double elapsed_seconds = 0.0;        ///< wall-clock of the task grid
-  std::size_t tasks = 0;               ///< vectors * paths
-};
+/// Deprecated alias of detect::PathGridOutput (kept for source compat).
+using BatchDetectOutput = detect::PathGridOutput;
 
-/// Detects a batch of received vectors (all sharing the channel installed in
-/// `det`) by fanning the full vector x path grid across `pool`.
+/// Deprecated: use Detector::detect_batch or detect::run_path_grid.
 template <PathParallelDetector D>
 BatchDetectOutput batch_detect(const D& det, std::size_t num_paths,
                                const std::vector<linalg::CVec>& ys,
                                parallel::ThreadPool& pool) {
-  const std::size_t nv = ys.size();
-  BatchDetectOutput out;
-  out.tasks = nv * num_paths;
-  out.best_path.assign(nv, 0);
-  out.best_metric.assign(nv, std::numeric_limits<double>::infinity());
-  if (nv == 0 || num_paths == 0) return out;
-
-  // Rotation (ybar = Q^H y) is part of the measured work, as in the paper's
-  // kernel timing.
-  const auto t0 = std::chrono::steady_clock::now();
-
-  std::vector<linalg::CVec> ybars(nv);
-  pool.parallel_for(nv, [&](std::size_t v) { ybars[v] = det.rotate(ys[v]); });
-
-  std::vector<double> metrics(out.tasks);
-  pool.parallel_for(
-      out.tasks,
-      [&](std::size_t t) {
-        metrics[t] = det.path_metric(ybars[t / num_paths], t % num_paths);
-      },
-      /*chunk=*/num_paths);  // one vector's paths per chunk: cache-friendly
-
-  // Min-reduction per vector (the paper's pipelined minimum tree).
-  pool.parallel_for(nv, [&](std::size_t v) {
-    const double* m = metrics.data() + v * num_paths;
-    std::size_t best = 0;
-    for (std::size_t p = 1; p < num_paths; ++p) {
-      if (m[p] < m[best]) best = p;
-    }
-    out.best_path[v] = best;
-    out.best_metric[v] = m[best];
-  });
-
-  out.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  return out;
+  return detect::run_path_grid(
+      det, num_paths, std::span<const linalg::CVec>(ys.data(), ys.size()),
+      pool);
 }
 
 }  // namespace flexcore::sim

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "api/uplink_pipeline.h"
 #include "coding/convolutional.h"
 
 namespace flexcore::sim {
@@ -48,6 +49,43 @@ PacketOutcome UplinkPacketLink::run_packet(detect::Detector& det,
                                            const channel::ChannelTrace& trace,
                                            double noise_var,
                                            channel::Rng& rng) const {
+  return run_packet_impl(
+      [&](const linalg::CMat& h) {
+        det.set_channel(h, noise_var);
+        return det.parallel_tasks();
+      },
+      [&](std::span<const linalg::CVec> ys, detect::BatchResult* out) {
+        det.detect_batch(ys, out);
+      },
+      trace, noise_var, rng);
+}
+
+PacketOutcome UplinkPacketLink::run_packet(api::UplinkPipeline& pipe,
+                                           const channel::ChannelTrace& trace,
+                                           double noise_var,
+                                           channel::Rng& rng) const {
+  if (pipe.constellation().order() != cfg_.qam_order) {
+    throw std::invalid_argument(
+        "run_packet: pipeline constellation does not match "
+        "LinkConfig.qam_order");
+  }
+  return run_packet_impl(
+      [&](const linalg::CMat& h) {
+        pipe.set_channel(h, noise_var);
+        return pipe.detector().parallel_tasks();
+      },
+      [&](std::span<const linalg::CVec> ys, detect::BatchResult* out) {
+        *out = pipe.detect(ys);
+      },
+      trace, noise_var, rng);
+}
+
+PacketOutcome UplinkPacketLink::run_packet_impl(
+    const std::function<std::size_t(const linalg::CMat&)>& install,
+    const std::function<void(std::span<const linalg::CVec>,
+                             detect::BatchResult*)>& detect_fn,
+    const channel::ChannelTrace& trace, double noise_var,
+    channel::Rng& rng) const {
   const std::size_t nt = trace.per_subcarrier.front().cols();
   const std::size_t nsc = cfg_.ofdm.data_subcarriers;
   if (trace.per_subcarrier.size() < nsc) {
@@ -67,22 +105,31 @@ PacketOutcome UplinkPacketLink::run_packet(detect::Detector& det,
                                          std::vector<int>(users[0].symbols.size()));
 
   // Detection: channels are per-subcarrier; symbol t of subcarrier f uses
-  // trace.per_subcarrier[f] (static channel over the packet).
+  // trace.per_subcarrier[f] (static channel over the packet).  All OFDM
+  // symbols of a subcarrier share its channel, so they form one batch —
+  // the per-channel lifecycle (set_channel → detect_batch) the paper's
+  // receiver runs, routed through whatever parallel substrate the detector
+  // has attached.
   linalg::CVec s(nt);
+  std::vector<linalg::CVec> ys(n_ofdm_symbols_);
+  detect::BatchResult batch;
   for (std::size_t f = 0; f < nsc; ++f) {
-    det.set_channel(trace.per_subcarrier[f], noise_var);
-    out.sum_active_pes += static_cast<double>(det.parallel_tasks());
+    out.sum_active_pes +=
+        static_cast<double>(install(trace.per_subcarrier[f]));
     ++out.channel_installs;
     for (std::size_t t = 0; t < n_ofdm_symbols_; ++t) {
       const std::size_t slot = t * nsc + f;
       for (std::size_t u = 0; u < nt; ++u) {
         s[u] = c_.point(users[u].symbols[slot]);
       }
-      const linalg::CVec y =
-          channel::transmit(trace.per_subcarrier[f], s, noise_var, rng);
-      detect::DetectionResult res = det.detect(y);
-      out.stats += res.stats;
-      ++out.vectors_detected;
+      ys[t] = channel::transmit(trace.per_subcarrier[f], s, noise_var, rng);
+    }
+    detect_fn(ys, &batch);
+    out.stats += batch.stats;
+    out.vectors_detected += ys.size();
+    for (std::size_t t = 0; t < n_ofdm_symbols_; ++t) {
+      const std::size_t slot = t * nsc + f;
+      const detect::DetectionResult& res = batch.results[t];
       for (std::size_t u = 0; u < nt; ++u) {
         detected[u][slot] = res.symbols[u];
         ++out.symbols_sent;

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "channel/rng.h"
@@ -19,6 +21,10 @@
 #include "detect/detector.h"
 #include "modulation/constellation.h"
 #include "ofdm/ofdm.h"
+
+namespace flexcore::api {
+class UplinkPipeline;
+}  // namespace flexcore::api
 
 namespace flexcore::sim {
 
@@ -45,8 +51,17 @@ class UplinkPacketLink {
  public:
   explicit UplinkPacketLink(const LinkConfig& cfg);
 
-  /// Simulates one packet burst with hard-decision detection.
+  /// Simulates one packet burst with hard-decision detection.  Detection
+  /// runs one detect_batch per data subcarrier (all OFDM symbols of a
+  /// subcarrier share its channel).
   PacketOutcome run_packet(detect::Detector& det,
+                           const channel::ChannelTrace& trace,
+                           double noise_var, channel::Rng& rng) const;
+
+  /// Same, but driven through an api::UplinkPipeline — the facade's thread
+  /// pool and lifecycle counters (channel installs, vectors, stats) see
+  /// every subcarrier batch.
+  PacketOutcome run_packet(api::UplinkPipeline& pipe,
                            const channel::ChannelTrace& trace,
                            double noise_var, channel::Rng& rng) const;
 
@@ -63,6 +78,16 @@ class UplinkPacketLink {
   const modulation::Constellation& constellation() const noexcept { return c_; }
 
  private:
+  /// Shared packet body: `install` installs a subcarrier channel and
+  /// returns the detector's parallel task count; `detect_fn` runs one
+  /// subcarrier batch.
+  PacketOutcome run_packet_impl(
+      const std::function<std::size_t(const linalg::CMat&)>& install,
+      const std::function<void(std::span<const linalg::CVec>,
+                               detect::BatchResult*)>& detect_fn,
+      const channel::ChannelTrace& trace, double noise_var,
+      channel::Rng& rng) const;
+
   LinkConfig cfg_;
   modulation::Constellation c_;
   coding::Interleaver interleaver_;

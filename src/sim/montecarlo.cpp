@@ -1,6 +1,9 @@
 #include "sim/montecarlo.h"
 
 #include <cmath>
+#include <stdexcept>
+
+#include "api/uplink_pipeline.h"
 
 namespace flexcore::sim {
 
@@ -103,6 +106,24 @@ ThroughputResult measure_throughput(detect::Detector& det,
                           const channel::ChannelTrace& trace,
                           channel::Rng& rng) {
                         return link.run_packet(det, trace, noise_var, rng);
+                      });
+}
+
+ThroughputResult measure_throughput(api::UplinkPipeline& pipe,
+                                    const LinkConfig& lcfg,
+                                    const channel::TraceConfig& tcfg,
+                                    double noise_var, std::size_t packets,
+                                    std::uint64_t seed) {
+  if (pipe.constellation().order() != lcfg.qam_order) {
+    throw std::invalid_argument(
+        "measure_throughput: pipeline constellation does not match "
+        "LinkConfig.qam_order");
+  }
+  return measure_impl(lcfg, tcfg, packets, seed,
+                      [&](UplinkPacketLink& link,
+                          const channel::ChannelTrace& trace,
+                          channel::Rng& rng) {
+                        return link.run_packet(pipe, trace, noise_var, rng);
                       });
 }
 

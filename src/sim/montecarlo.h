@@ -53,6 +53,15 @@ ThroughputResult measure_throughput(detect::Detector& det,
                                     double noise_var, std::size_t packets,
                                     std::uint64_t seed);
 
+/// Facade-driven variant: detection runs through the pipeline (its thread
+/// pool and lifecycle counters see every subcarrier batch).  `lcfg.qam_order`
+/// must match the pipeline's constellation.
+ThroughputResult measure_throughput(api::UplinkPipeline& pipe,
+                                    const LinkConfig& lcfg,
+                                    const channel::TraceConfig& tcfg,
+                                    double noise_var, std::size_t packets,
+                                    std::uint64_t seed);
+
 /// Same but using FlexCore's soft-output extension + soft Viterbi.
 ThroughputResult measure_throughput_soft(core::FlexCoreDetector& det,
                                          const LinkConfig& lcfg,

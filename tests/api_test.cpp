@@ -1,0 +1,334 @@
+// Tests for the api subsystem: the detector registry (string-driven
+// construction, name round-trips, error paths), the batch-detection
+// contract (default sequential loop vs the thread-pool grid overrides) and
+// the UplinkPipeline facade.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "api/detector_registry.h"
+#include "api/uplink_pipeline.h"
+#include "channel/channel.h"
+#include "core/flexcore_detector.h"
+#include "detect/fcsd.h"
+#include "parallel/thread_pool.h"
+
+namespace fa = flexcore::api;
+namespace fc = flexcore::core;
+namespace fd = flexcore::detect;
+namespace ch = flexcore::channel;
+using flexcore::linalg::CMat;
+using flexcore::linalg::CVec;
+using flexcore::modulation::Constellation;
+
+namespace {
+
+std::vector<CVec> random_batch(const Constellation& c, const CMat& h,
+                               std::size_t n, double nv, ch::Rng& rng) {
+  std::vector<CVec> ys;
+  ys.reserve(n);
+  CVec s(h.cols());
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t u = 0; u < h.cols(); ++u) {
+      s[u] = c.point(static_cast<int>(
+          rng.uniform_int(static_cast<std::uint64_t>(c.order()))));
+    }
+    ys.push_back(ch::transmit(h, s, nv, rng));
+  }
+  return ys;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- registry
+
+TEST(Registry, EveryCanonicalNameRoundTrips) {
+  Constellation c(64);
+  const fa::DetectorConfig cfg{.constellation = &c};
+  const auto names = fa::DetectorRegistry::global().canonical_names();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    const auto det = fa::make_detector(name, cfg);
+    ASSERT_NE(det, nullptr) << name;
+    EXPECT_EQ(det->name(), name) << "spec must round-trip through name()";
+  }
+}
+
+TEST(Registry, ParametricSpecsRoundTrip) {
+  Constellation c(16);
+  const fa::DetectorConfig cfg{.constellation = &c};
+  for (const char* spec : {"flexcore-7", "flexcore-128", "a-flexcore-24",
+                           "fcsd-L2", "kbest-3", "kbest-64", "akbest-40"}) {
+    EXPECT_EQ(fa::make_detector(spec, cfg)->name(), spec);
+  }
+}
+
+TEST(Registry, AliasesConstructCanonicalDetectors) {
+  Constellation c(16);
+  const fa::DetectorConfig cfg{.constellation = &c};
+  EXPECT_EQ(fa::make_detector("sic", cfg)->name(), "zf-sic");
+  EXPECT_EQ(fa::make_detector("trellis", cfg)->name(), "trellis50");
+  EXPECT_EQ(fa::make_detector("ml", cfg)->name(), "ml-sd");
+  EXPECT_EQ(fa::make_detector("fcsd", cfg)->name(), "fcsd-L1");
+  EXPECT_EQ(fa::make_detector("kbest", cfg)->name(), "kbest-8");
+  EXPECT_EQ(fa::make_detector("akbest", cfg)->name(), "akbest-16");
+}
+
+TEST(Registry, BareFlexcoreUsesConfigValues) {
+  Constellation c(16);
+  fa::DetectorConfig cfg{.constellation = &c};
+  cfg.flexcore.num_pes = 48;
+  EXPECT_EQ(fa::make_detector("flexcore", cfg)->name(), "flexcore-48");
+  // The spec family always decides adaptive vs plain, regardless of the
+  // base config's threshold.
+  cfg.flexcore.adaptive_threshold = 0.9;
+  EXPECT_EQ(fa::make_detector("flexcore", cfg)->name(), "flexcore-48");
+  EXPECT_EQ(fa::make_detector("a-flexcore", cfg)->name(), "a-flexcore-48");
+}
+
+TEST(Registry, UnknownNameThrowsListingFamilies) {
+  Constellation c(16);
+  const fa::DetectorConfig cfg{.constellation = &c};
+  for (const char* bad : {"", "no-such-detector", "flexcoreX", "flexcore-",
+                          "flexcore-12x", "fcsd-L", "kbest-"}) {
+    EXPECT_THROW(fa::make_detector(bad, cfg), std::invalid_argument) << bad;
+  }
+  try {
+    fa::make_detector("no-such-detector", cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-detector"), std::string::npos);
+    EXPECT_NE(msg.find("flexcore"), std::string::npos);
+  }
+}
+
+TEST(Registry, NullConstellationThrows) {
+  EXPECT_THROW(fa::make_detector("zf", fa::DetectorConfig{}),
+               std::invalid_argument);
+}
+
+TEST(Registry, InvalidParametersThrow) {
+  Constellation c(16);
+  const fa::DetectorConfig cfg{.constellation = &c};
+  EXPECT_THROW(fa::make_detector("flexcore-0", cfg), std::invalid_argument);
+  EXPECT_THROW(fa::make_detector("kbest-0", cfg), std::invalid_argument);
+  EXPECT_THROW(fa::make_detector("akbest-0", cfg), std::invalid_argument);
+}
+
+TEST(Registry, MakeDetectorAsChecksType) {
+  Constellation c(16);
+  const fa::DetectorConfig cfg{.constellation = &c};
+  const auto flex =
+      fa::make_detector_as<fc::FlexCoreDetector>("flexcore-8", cfg);
+  EXPECT_EQ(flex->config().num_pes, 8u);
+  EXPECT_THROW(fa::make_detector_as<fc::FlexCoreDetector>("zf", cfg),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ detect_batch
+
+TEST(Batch, DefaultLoopMatchesPerVectorDetect) {
+  Constellation c(16);
+  const fa::DetectorConfig cfg{.constellation = &c};
+  ch::Rng rng(7);
+  const CMat h = ch::rayleigh_iid(6, 6, rng);
+  const double nv = 0.05;
+  auto batch_rng = rng;  // detection draws nothing; keep draws aligned
+
+  for (const char* spec : {"zf-sic", "mmse", "kbest-8", "trellis50"}) {
+    const auto det = fa::make_detector(spec, cfg);
+    det->set_channel(h, nv);
+    const auto ys = random_batch(c, h, 12, nv, batch_rng);
+    fd::BatchResult out;
+    det->detect_batch(ys, &out);
+    ASSERT_EQ(out.results.size(), ys.size()) << spec;
+    EXPECT_EQ(out.tasks, ys.size()) << spec;
+    fd::DetectionStats want_stats;
+    for (std::size_t v = 0; v < ys.size(); ++v) {
+      const auto want = det->detect(ys[v]);
+      EXPECT_EQ(out.results[v].symbols, want.symbols) << spec;
+      EXPECT_EQ(out.results[v].metric, want.metric) << spec;
+      want_stats += want.stats;
+    }
+    EXPECT_EQ(out.stats.nodes_visited, want_stats.nodes_visited) << spec;
+    EXPECT_EQ(out.stats.flops, want_stats.flops) << spec;
+  }
+}
+
+TEST(Batch, FlexCoreThreadedOverrideMatchesDefaultLoop) {
+  Constellation c(64);
+  const auto det = fa::make_detector_as<fc::FlexCoreDetector>(
+      "flexcore-32", {.constellation = &c});
+  ch::Rng rng(8);
+  const CMat h = ch::rayleigh_iid(8, 8, rng);
+  const double nv = ch::noise_var_for_snr_db(16.0);
+  det->set_channel(h, nv);
+  const auto ys = random_batch(c, h, 24, nv, rng);
+
+  // Without a pool: the sequential base-class loop.
+  fd::BatchResult seq;
+  det->detect_batch(ys, &seq);
+  EXPECT_EQ(seq.tasks, ys.size());
+
+  // With a pool: the vector x path task grid.
+  flexcore::parallel::ThreadPool pool(3);
+  det->set_thread_pool(&pool);
+  fd::BatchResult grid;
+  det->detect_batch(ys, &grid);
+  EXPECT_EQ(grid.tasks, ys.size() * det->active_paths());
+
+  ASSERT_EQ(grid.results.size(), seq.results.size());
+  for (std::size_t v = 0; v < ys.size(); ++v) {
+    EXPECT_EQ(grid.results[v].symbols, seq.results[v].symbols)
+        << "vector " << v;
+    EXPECT_NEAR(grid.results[v].metric, seq.results[v].metric, 1e-12);
+    EXPECT_EQ(grid.results[v].stats.paths_evaluated, det->active_paths());
+  }
+
+  // Detaching the pool restores the sequential loop.
+  det->set_thread_pool(nullptr);
+  fd::BatchResult seq2;
+  det->detect_batch(ys, &seq2);
+  EXPECT_EQ(seq2.tasks, ys.size());
+}
+
+TEST(Batch, FlexCoreSicFallbackAppliedInBatch) {
+  // A tiny path budget at extreme noise deactivates every PE for some
+  // vectors; detect_batch must apply the same SIC fallback detect() does
+  // and report the count.
+  Constellation c(64);
+  const auto det = fa::make_detector_as<fc::FlexCoreDetector>(
+      "flexcore-2", {.constellation = &c});
+  ch::Rng rng(9);
+  const CMat h = ch::rayleigh_iid(8, 8, rng);
+  const double nv = 4.0;  // brutal noise
+  det->set_channel(h, nv);
+  const auto ys = random_batch(c, h, 200, nv, rng);
+
+  flexcore::parallel::ThreadPool pool(2);
+  det->set_thread_pool(&pool);
+  fd::BatchResult out;
+  det->detect_batch(ys, &out);
+
+  std::size_t fallbacks = 0;
+  for (std::size_t v = 0; v < ys.size(); ++v) {
+    const auto want = det->detect(ys[v]);
+    EXPECT_EQ(out.results[v].symbols, want.symbols) << "vector " << v;
+    EXPECT_NEAR(out.results[v].metric, want.metric, 1e-12);
+    const auto ybar = det->rotate(ys[v]);
+    bool any_valid = false;
+    for (std::size_t pth = 0; pth < det->active_paths(); ++pth) {
+      any_valid = any_valid || det->evaluate_path(ybar, pth).valid;
+    }
+    fallbacks += !any_valid;
+  }
+  EXPECT_EQ(out.sic_fallbacks, fallbacks);
+  EXPECT_GT(out.sic_fallbacks, 0u)
+      << "scenario no longer exercises the fallback; lower the budget";
+}
+
+TEST(Batch, FcsdThreadedOverrideMatchesDefaultLoop) {
+  Constellation c(16);
+  const auto det =
+      fa::make_detector_as<fd::FcsdDetector>("fcsd-L1", {.constellation = &c});
+  ch::Rng rng(10);
+  const CMat h = ch::rayleigh_iid(6, 6, rng);
+  const double nv = 0.05;
+  det->set_channel(h, nv);
+  const auto ys = random_batch(c, h, 20, nv, rng);
+
+  fd::BatchResult seq;
+  det->detect_batch(ys, &seq);
+
+  flexcore::parallel::ThreadPool pool(3);
+  det->set_thread_pool(&pool);
+  fd::BatchResult grid;
+  det->detect_batch(ys, &grid);
+  EXPECT_EQ(grid.tasks, ys.size() * det->num_paths());
+  EXPECT_EQ(grid.sic_fallbacks, 0u);
+
+  for (std::size_t v = 0; v < ys.size(); ++v) {
+    EXPECT_EQ(grid.results[v].symbols, seq.results[v].symbols);
+    EXPECT_NEAR(grid.results[v].metric, seq.results[v].metric, 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------- pipeline
+
+TEST(Pipeline, DetectRequiresChannel) {
+  fa::PipelineConfig cfg;
+  cfg.detector = "flexcore-8";
+  cfg.qam_order = 16;
+  cfg.threads = 2;
+  fa::UplinkPipeline pipe(cfg);
+  const std::vector<CVec> ys(3, CVec(4));
+  EXPECT_THROW(pipe.detect(ys), std::logic_error);
+  EXPECT_THROW(pipe.detect_one(CVec(4)), std::logic_error);
+}
+
+TEST(Pipeline, BatchedDetectMatchesDetectorAndAggregates) {
+  fa::PipelineConfig cfg;
+  cfg.detector = "flexcore-16";
+  cfg.qam_order = 16;
+  cfg.threads = 2;
+  fa::UplinkPipeline pipe(cfg);
+  EXPECT_EQ(pipe.detector().name(), "flexcore-16");
+  EXPECT_TRUE(pipe.supports_soft());
+
+  ch::Rng rng(11);
+  const Constellation& c = pipe.constellation();
+  const double nv = ch::noise_var_for_snr_db(14.0);
+  std::size_t vectors = 0;
+  for (int channel = 0; channel < 3; ++channel) {
+    const CMat h = ch::rayleigh_iid(6, 6, rng);
+    pipe.set_channel(h, nv);
+    const auto ys = random_batch(c, h, 10, nv, rng);
+    const auto out = pipe.detect(ys);
+    ASSERT_EQ(out.results.size(), ys.size());
+    for (std::size_t v = 0; v < ys.size(); ++v) {
+      EXPECT_EQ(out.results[v].symbols, pipe.detect_one(ys[v]).symbols);
+    }
+    vectors += 2 * ys.size();  // detect() batch + one detect_one() each
+  }
+  EXPECT_EQ(pipe.channel_installs(), 3u);
+  EXPECT_EQ(pipe.vectors_detected(), vectors);
+  EXPECT_GT(pipe.total_stats().paths_evaluated, 0u);
+}
+
+TEST(Pipeline, SoftOutputGatedByDetectorKind) {
+  fa::PipelineConfig cfg;
+  cfg.detector = "zf-sic";
+  cfg.qam_order = 16;
+  cfg.threads = 1;
+  fa::UplinkPipeline pipe(cfg);
+  EXPECT_FALSE(pipe.supports_soft());
+
+  ch::Rng rng(12);
+  const CMat h = ch::rayleigh_iid(4, 4, rng);
+  pipe.set_channel(h, 0.05);
+  const std::vector<CVec> ys(2, CVec(4));
+  EXPECT_THROW(pipe.detect_soft(ys), std::logic_error);
+
+  fa::PipelineConfig soft_cfg;
+  soft_cfg.detector = "flexcore-8";
+  soft_cfg.qam_order = 16;
+  soft_cfg.threads = 1;
+  fa::UplinkPipeline soft_pipe(soft_cfg);
+  soft_pipe.set_channel(h, 0.05);
+  const auto ys2 =
+      random_batch(soft_pipe.constellation(), h, 4, 0.05, rng);
+  const auto soft = soft_pipe.detect_soft(ys2);
+  ASSERT_EQ(soft.size(), ys2.size());
+  for (std::size_t v = 0; v < ys2.size(); ++v) {
+    EXPECT_EQ(soft[v].hard.symbols, soft_pipe.detect_one(ys2[v]).symbols);
+  }
+}
+
+TEST(Pipeline, UnknownDetectorSpecThrowsAtConstruction) {
+  fa::PipelineConfig cfg;
+  cfg.detector = "warp-drive";
+  EXPECT_THROW(fa::UplinkPipeline pipe(cfg), std::invalid_argument);
+}

@@ -6,6 +6,7 @@
 #include <memory>
 #include <set>
 
+#include "api/detector_registry.h"
 #include "channel/channel.h"
 #include "core/flexcore_detector.h"
 #include "core/ordering_lut.h"
@@ -15,6 +16,7 @@
 #include "detect/sic.h"
 #include "linalg/qr.h"
 
+namespace fa = flexcore::api;
 namespace fc = flexcore::core;
 namespace fd = flexcore::detect;
 namespace ch = flexcore::channel;
@@ -390,10 +392,8 @@ TEST(FlexCore, SinglePathEqualsSic) {
   // (= slicing) is exactly ordered ZF-SIC.
   Constellation c(16);
   ch::Rng rng(21);
-  fc::FlexCoreConfig cfg;
-  cfg.num_pes = 1;
-  fc::FlexCoreDetector flex(c, cfg);
-  fd::SicDetector sic(c);
+  const auto flex = fa::make_detector("flexcore-1", {.constellation = &c});
+  const auto sic = fa::make_detector("zf-sic", {.constellation = &c});
   const double nv = ch::noise_var_for_snr_db(4.2);
   for (int t = 0; t < 40; ++t) {
     const CMat h = random_channel(6, 6, 1000 + static_cast<unsigned>(t));
@@ -405,9 +405,9 @@ TEST(FlexCore, SinglePathEqualsSic) {
       s[static_cast<std::size_t>(u)] = c.point(tx[static_cast<std::size_t>(u)]);
     }
     const CVec y = ch::transmit(h, s, nv, rng);
-    flex.set_channel(h, nv);
-    sic.set_channel(h, nv);
-    EXPECT_EQ(flex.detect(y).symbols, sic.detect(y).symbols);
+    flex->set_channel(h, nv);
+    sic->set_channel(h, nv);
+    EXPECT_EQ(flex->detect(y).symbols, sic->detect(y).symbols);
   }
 }
 
@@ -416,11 +416,12 @@ TEST(FlexCore, AllPathsWithExactOrderingIsML) {
   // with exact per-level ordering makes FlexCore an exhaustive ML detector.
   Constellation c(4);
   ch::Rng rng(22);
-  fc::FlexCoreConfig cfg;
-  cfg.num_pes = 64;  // 4^3
-  cfg.ordering = fc::OrderingMode::kExactSort;
-  cfg.candidate_list_cap = 100000;
-  fc::FlexCoreDetector flex(c, cfg);
+  fa::DetectorConfig acfg{.constellation = &c};
+  acfg.flexcore.num_pes = 64;  // 4^3
+  acfg.flexcore.ordering = fc::OrderingMode::kExactSort;
+  acfg.flexcore.candidate_list_cap = 100000;
+  const auto flex =
+      fa::make_detector_as<fc::FlexCoreDetector>("flexcore", acfg);
   const double nv = ch::noise_var_for_snr_db(1.2);
   for (int t = 0; t < 25; ++t) {
     const CMat h = random_channel(3, 3, 2000 + static_cast<unsigned>(t));
@@ -429,9 +430,9 @@ TEST(FlexCore, AllPathsWithExactOrderingIsML) {
       s[static_cast<std::size_t>(u)] = c.point(static_cast<int>(rng.uniform_int(4)));
     }
     const CVec y = ch::transmit(h, s, nv, rng);
-    flex.set_channel(h, nv);
-    EXPECT_EQ(flex.preprocessing().paths.size(), 64u);
-    const auto got = flex.detect(y);
+    flex->set_channel(h, nv);
+    EXPECT_EQ(flex->preprocessing().paths.size(), 64u);
+    const auto got = flex->detect(y);
     const auto want = fd::exhaustive_ml(c, h, y);
     EXPECT_EQ(got.symbols, want.symbols);
     EXPECT_NEAR(got.metric, want.metric, 1e-9);
@@ -441,9 +442,7 @@ TEST(FlexCore, AllPathsWithExactOrderingIsML) {
 TEST(FlexCore, RecoversNoiseless) {
   Constellation c(64);
   ch::Rng rng(23);
-  fc::FlexCoreConfig cfg;
-  cfg.num_pes = 8;
-  fc::FlexCoreDetector flex(c, cfg);
+  const auto flex = fa::make_detector("flexcore-8", {.constellation = &c});
   for (int t = 0; t < 15; ++t) {
     const CMat h = random_channel(8, 8, 3000 + static_cast<unsigned>(t));
     CVec s(8);
@@ -453,8 +452,8 @@ TEST(FlexCore, RecoversNoiseless) {
       s[static_cast<std::size_t>(u)] = c.point(tx[static_cast<std::size_t>(u)]);
     }
     const CVec y = ch::transmit(h, s, 0.0, rng);
-    flex.set_channel(h, 1e-6);
-    EXPECT_EQ(flex.detect(y).symbols, tx);
+    flex->set_channel(h, 1e-6);
+    EXPECT_EQ(flex->detect(y).symbols, tx);
   }
 }
 
@@ -463,9 +462,9 @@ TEST(FlexCore, MorePesNeverHurtStatistically) {
   const double nv = ch::noise_var_for_snr_db(4.0);
   auto run = [&](std::size_t pes) {
     ch::Rng rng(24);
-    fc::FlexCoreConfig cfg;
-    cfg.num_pes = pes;
-    fc::FlexCoreDetector flex(c, cfg);
+    fa::DetectorConfig acfg{.constellation = &c};
+    acfg.flexcore.num_pes = pes;
+    const auto flex = fa::make_detector("flexcore", acfg);
     std::size_t errors = 0;
     for (int t = 0; t < 150; ++t) {
       const CMat h = random_channel(8, 8, 4000 + static_cast<unsigned>(t));
@@ -476,8 +475,8 @@ TEST(FlexCore, MorePesNeverHurtStatistically) {
         s[static_cast<std::size_t>(u)] = c.point(tx[static_cast<std::size_t>(u)]);
       }
       const CVec y = ch::transmit(h, s, nv, rng);
-      flex.set_channel(h, nv);
-      const auto res = flex.detect(y);
+      flex->set_channel(h, nv);
+      const auto res = flex->detect(y);
       for (int u = 0; u < 8; ++u) {
         errors += res.symbols[static_cast<std::size_t>(u)] !=
                   tx[static_cast<std::size_t>(u)];
@@ -526,16 +525,15 @@ TEST(FlexCore, BeatsFcsdAtEqualBudgetInOperatingRegime) {
     return err;
   };
 
-  fc::FlexCoreConfig cfg64;
-  cfg64.num_pes = 64;
-  fc::FlexCoreConfig cfg128 = cfg64;
-  cfg128.num_pes = 128;
-  fc::FlexCoreDetector flex64(c, cfg64), flex128(c, cfg128);
-  fd::FcsdDetector fcsd(c, 1);  // 64 paths
+  const auto flex64 = fa::make_detector("flexcore-64", {.constellation = &c});
+  const auto flex128 =
+      fa::make_detector("flexcore-128", {.constellation = &c});
+  const auto fcsd =
+      fa::make_detector("fcsd-L1", {.constellation = &c});  // 64 paths
 
-  const std::size_t e_flex64 = run(flex64);
-  const std::size_t e_flex128 = run(flex128);
-  const std::size_t e_fcsd = run(fcsd);
+  const std::size_t e_flex64 = run(*flex64);
+  const std::size_t e_flex128 = run(*flex128);
+  const std::size_t e_fcsd = run(*fcsd);
 
   EXPECT_LT(e_flex64, e_fcsd) << "flex64=" << e_flex64 << " fcsd64=" << e_fcsd;
   EXPECT_LE(e_flex128, e_flex64);
@@ -545,19 +543,18 @@ TEST(FlexCore, BeatsFcsdAtEqualBudgetInOperatingRegime) {
 TEST(FlexCore, PathMetricMatchesEvaluatePath) {
   Constellation c(16);
   ch::Rng rng(26);
-  fc::FlexCoreConfig cfg;
-  cfg.num_pes = 32;
-  fc::FlexCoreDetector flex(c, cfg);
+  const auto flex = fa::make_detector_as<fc::FlexCoreDetector>(
+      "flexcore-32", {.constellation = &c});
   const CMat h = random_channel(6, 6, 27);
   const double nv = 0.05;
-  flex.set_channel(h, nv);
+  flex->set_channel(h, nv);
   CVec s(6);
   for (int u = 0; u < 6; ++u) s[static_cast<std::size_t>(u)] = c.point(3);
   const CVec y = ch::transmit(h, s, nv, rng);
-  const CVec ybar = flex.rotate(y);
-  for (std::size_t p = 0; p < flex.active_paths(); ++p) {
-    const auto ev = flex.evaluate_path(ybar, p);
-    const double m = flex.path_metric(ybar, p);
+  const CVec ybar = flex->rotate(y);
+  for (std::size_t p = 0; p < flex->active_paths(); ++p) {
+    const auto ev = flex->evaluate_path(ybar, p);
+    const double m = flex->path_metric(ybar, p);
     if (ev.valid) {
       EXPECT_NEAR(m, ev.metric, 1e-12);
     } else {
@@ -568,54 +565,51 @@ TEST(FlexCore, PathMetricMatchesEvaluatePath) {
 
 TEST(FlexCore, AdaptiveUsesFewerPesOnCleanChannels) {
   Constellation c(16);
-  fc::FlexCoreConfig cfg;
-  cfg.num_pes = 64;
-  cfg.adaptive_threshold = 0.95;
-  fc::FlexCoreDetector flex(c, cfg);
+  const auto flex = fa::make_detector_as<fc::FlexCoreDetector>(
+      "a-flexcore-64", {.constellation = &c});
 
   const CMat h = random_channel(8, 8, 28);
-  flex.set_channel(h, 1e-5);  // nearly noiseless
-  const std::size_t clean_paths = flex.active_paths();
+  flex->set_channel(h, 1e-5);  // nearly noiseless
+  const std::size_t clean_paths = flex->active_paths();
   EXPECT_LE(clean_paths, 4u);
-  EXPECT_GE(flex.active_pc_sum(), 0.95);
+  EXPECT_GE(flex->active_pc_sum(), 0.95);
 
-  flex.set_channel(h, 0.6);  // very noisy
-  EXPECT_GT(flex.active_paths(), clean_paths);
-  EXPECT_LE(flex.active_paths(), 64u);
+  flex->set_channel(h, 0.6);  // very noisy
+  EXPECT_GT(flex->active_paths(), clean_paths);
+  EXPECT_LE(flex->active_paths(), 64u);
 }
 
 TEST(FlexCore, AdaptiveMatchesPlainWhenBudgetExhausted) {
   // On a bad channel a-FlexCore saturates at num_pes and behaves like the
   // plain detector.
   Constellation c(64);
-  fc::FlexCoreConfig plain_cfg;
-  plain_cfg.num_pes = 16;
-  fc::FlexCoreConfig ad_cfg = plain_cfg;
+  const auto plain =
+      fa::make_detector("flexcore-16", {.constellation = &c});
+  fa::DetectorConfig ad_cfg{.constellation = &c};
   ad_cfg.adaptive_threshold = 0.9999;  // unreachable on a noisy channel
-  fc::FlexCoreDetector plain(c, plain_cfg), adaptive(c, ad_cfg);
+  const auto adaptive = fa::make_detector_as<fc::FlexCoreDetector>(
+      "a-flexcore-16", ad_cfg);
   const CMat h = random_channel(8, 8, 29);
-  plain.set_channel(h, 0.8);
-  adaptive.set_channel(h, 0.8);
-  EXPECT_EQ(adaptive.active_paths(), plain.active_paths());
+  plain->set_channel(h, 0.8);
+  adaptive->set_channel(h, 0.8);
+  EXPECT_EQ(adaptive->active_paths(), plain->parallel_tasks());
 
   ch::Rng rng(30);
   CVec s(8);
   for (int u = 0; u < 8; ++u) s[static_cast<std::size_t>(u)] = c.point(10);
   const CVec y = ch::transmit(h, s, 0.8, rng);
-  EXPECT_EQ(adaptive.detect(y).symbols, plain.detect(y).symbols);
+  EXPECT_EQ(adaptive->detect(y).symbols, plain->detect(y).symbols);
 }
 
 TEST(FlexCore, StatsAccumulateAcrossPaths) {
   Constellation c(16);
-  fc::FlexCoreConfig cfg;
-  cfg.num_pes = 8;
-  fc::FlexCoreDetector flex(c, cfg);
+  const auto flex = fa::make_detector("flexcore-8", {.constellation = &c});
   const CMat h = random_channel(6, 6, 31);
-  flex.set_channel(h, 0.05);
+  flex->set_channel(h, 0.05);
   ch::Rng rng(32);
   CVec s(6, c.point(0));
   const CVec y = ch::transmit(h, s, 0.05, rng);
-  const auto res = flex.detect(y);
+  const auto res = flex->detect(y);
   EXPECT_EQ(res.stats.paths_evaluated, 8u);
   EXPECT_GT(res.stats.real_mults, 0u);
   // Table 2 accounting: a full path costs 2*Nt*(Nt+1) real multiplications.
@@ -624,29 +618,26 @@ TEST(FlexCore, StatsAccumulateAcrossPaths) {
 
 TEST(FlexCore, NameReflectsConfiguration) {
   Constellation c(16);
-  fc::FlexCoreConfig cfg;
-  cfg.num_pes = 12;
-  EXPECT_EQ(fc::FlexCoreDetector(c, cfg).name(), "flexcore-12");
-  cfg.adaptive_threshold = 0.95;
-  EXPECT_EQ(fc::FlexCoreDetector(c, cfg).name(), "a-flexcore-12");
+  const fa::DetectorConfig acfg{.constellation = &c};
+  EXPECT_EQ(fa::make_detector("flexcore-12", acfg)->name(), "flexcore-12");
+  EXPECT_EQ(fa::make_detector("a-flexcore-12", acfg)->name(),
+            "a-flexcore-12");
 }
 
 TEST(FlexCore, ZeroPesThrows) {
   Constellation c(16);
-  fc::FlexCoreConfig cfg;
-  cfg.num_pes = 0;
-  EXPECT_THROW(fc::FlexCoreDetector(c, cfg), std::invalid_argument);
+  EXPECT_THROW(fa::make_detector("flexcore-0", {.constellation = &c}),
+               std::invalid_argument);
 }
 
 TEST(FlexCore, SoftOutputSignsMatchHardDecision) {
   Constellation c(16);
-  fc::FlexCoreConfig cfg;
-  cfg.num_pes = 32;
-  fc::FlexCoreDetector flex(c, cfg);
+  const auto flex = fa::make_detector_as<fc::FlexCoreDetector>(
+      "flexcore-32", {.constellation = &c});
   ch::Rng rng(33);
   const CMat h = random_channel(6, 6, 34);
   const double nv = 0.02;
-  flex.set_channel(h, nv);
+  flex->set_channel(h, nv);
   CVec s(6);
   std::vector<int> tx(6);
   for (int u = 0; u < 6; ++u) {
@@ -654,7 +645,7 @@ TEST(FlexCore, SoftOutputSignsMatchHardDecision) {
     s[static_cast<std::size_t>(u)] = c.point(tx[static_cast<std::size_t>(u)]);
   }
   const CVec y = ch::transmit(h, s, nv, rng);
-  const auto soft = flex.detect_soft(y);
+  const auto soft = flex->detect_soft(y);
   EXPECT_EQ(soft.hard.symbols.size(), 6u);
   for (std::size_t a = 0; a < 6; ++a) {
     std::vector<std::uint8_t> bits;
@@ -676,12 +667,12 @@ TEST(FlexCore, LutOrderingErrorRateCloseToExactSort) {
   // that the error *rate* stays close to the exact-sort upper bound.
   Constellation c(16);
   const double nv = ch::noise_var_for_snr_db(5.2);
-  fc::FlexCoreConfig lut_cfg;
-  lut_cfg.num_pes = 16;
-  fc::FlexCoreConfig exact_cfg = lut_cfg;
-  exact_cfg.ordering = fc::OrderingMode::kExactSort;
-  exact_cfg.invalid_policy = fc::InvalidEntryPolicy::kSkipToValid;
-  fc::FlexCoreDetector lut_det(c, lut_cfg), exact_det(c, exact_cfg);
+  const auto lut_det =
+      fa::make_detector("flexcore-16", {.constellation = &c});
+  fa::DetectorConfig exact_acfg{.constellation = &c};
+  exact_acfg.flexcore.ordering = fc::OrderingMode::kExactSort;
+  exact_acfg.flexcore.invalid_policy = fc::InvalidEntryPolicy::kSkipToValid;
+  const auto exact_det = fa::make_detector("flexcore-16", exact_acfg);
 
   ch::Rng rng(35);
   std::size_t lut_err = 0, exact_err = 0;
@@ -694,10 +685,10 @@ TEST(FlexCore, LutOrderingErrorRateCloseToExactSort) {
       s[static_cast<std::size_t>(u)] = c.point(tx[static_cast<std::size_t>(u)]);
     }
     const CVec y = ch::transmit(h, s, nv, rng);
-    lut_det.set_channel(h, nv);
-    exact_det.set_channel(h, nv);
-    const auto rl = lut_det.detect(y).symbols;
-    const auto re = exact_det.detect(y).symbols;
+    lut_det->set_channel(h, nv);
+    exact_det->set_channel(h, nv);
+    const auto rl = lut_det->detect(y).symbols;
+    const auto re = exact_det->detect(y).symbols;
     for (int u = 0; u < 6; ++u) {
       lut_err += rl[static_cast<std::size_t>(u)] != tx[static_cast<std::size_t>(u)];
       exact_err += re[static_cast<std::size_t>(u)] != tx[static_cast<std::size_t>(u)];

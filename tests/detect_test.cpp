@@ -1,11 +1,13 @@
 // Tests for the baseline detectors: linear, SIC, ML sphere decoder, FCSD,
-// K-best and the trellis detector of [50].
+// K-best and the trellis detector of [50].  Detectors are constructed
+// through api::make_detector — the library's public construction path.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <memory>
 #include <set>
 
+#include "api/detector_registry.h"
 #include "channel/channel.h"
 #include "detect/exhaustive.h"
 #include "detect/fcsd.h"
@@ -15,6 +17,7 @@
 #include "detect/sic.h"
 #include "detect/trellis.h"
 
+namespace fa = flexcore::api;
 namespace fd = flexcore::detect;
 namespace ch = flexcore::channel;
 using flexcore::linalg::CMat;
@@ -72,9 +75,9 @@ TEST(Linear, ZfRecoversNoiseless) {
   ch::Rng rng(1);
   for (int t = 0; t < 20; ++t) {
     const Scenario sc = make_scenario(c, 6, 4, 0.0, rng);
-    fd::LinearDetector det(c, fd::LinearKind::kZeroForcing);
-    det.set_channel(sc.h, 1e-3);
-    EXPECT_EQ(det.detect(sc.y).symbols, sc.tx);
+    const auto det = fa::make_detector("zf", {.constellation = &c});
+    det->set_channel(sc.h, 1e-3);
+    EXPECT_EQ(det->detect(sc.y).symbols, sc.tx);
   }
 }
 
@@ -83,9 +86,9 @@ TEST(Linear, MmseRecoversNoiseless) {
   ch::Rng rng(2);
   for (int t = 0; t < 20; ++t) {
     const Scenario sc = make_scenario(c, 8, 8, 0.0, rng);
-    fd::LinearDetector det(c, fd::LinearKind::kMmse);
-    det.set_channel(sc.h, 1e-6);
-    EXPECT_EQ(det.detect(sc.y).symbols, sc.tx);
+    const auto det = fa::make_detector("mmse", {.constellation = &c});
+    det->set_channel(sc.h, 1e-6);
+    EXPECT_EQ(det->detect(sc.y).symbols, sc.tx);
   }
 }
 
@@ -93,10 +96,10 @@ TEST(Linear, MmseBeatsZfInSquareSystems) {
   Constellation c(16);
   const double nv = ch::noise_var_for_snr_db(5.0);
   const auto zf = count_symbol_errors(c, 8, 8, nv, 400, 77, [&] {
-    return std::make_unique<fd::LinearDetector>(c, fd::LinearKind::kZeroForcing);
+    return fa::make_detector("zf", {.constellation = &c});
   });
   const auto mmse = count_symbol_errors(c, 8, 8, nv, 400, 77, [&] {
-    return std::make_unique<fd::LinearDetector>(c, fd::LinearKind::kMmse);
+    return fa::make_detector("mmse", {.constellation = &c});
   });
   EXPECT_LT(mmse, zf);
 }
@@ -105,10 +108,11 @@ TEST(Linear, EqualizeAppliesFilter) {
   Constellation c(4);
   ch::Rng rng(3);
   const CMat h = ch::rayleigh_iid(4, 4, rng);
-  fd::LinearDetector det(c, fd::LinearKind::kZeroForcing);
-  det.set_channel(h, 0.01);
+  const auto det =
+      fa::make_detector_as<fd::LinearDetector>("zf", {.constellation = &c});
+  det->set_channel(h, 0.01);
   CVec s(4, cplx{1.0, 0.0});
-  const CVec x = det.equalize(h * s);
+  const CVec x = det->equalize(h * s);
   for (std::size_t i = 0; i < 4; ++i) EXPECT_LT(std::abs(x[i] - s[i]), 1e-8);
 }
 
@@ -116,9 +120,9 @@ TEST(Linear, MetricIsTrueResidual) {
   Constellation c(16);
   ch::Rng rng(4);
   const Scenario sc = make_scenario(c, 6, 6, 0.05, rng);
-  fd::LinearDetector det(c, fd::LinearKind::kMmse);
-  det.set_channel(sc.h, 0.05);
-  const auto res = det.detect(sc.y);
+  const auto det = fa::make_detector("mmse", {.constellation = &c});
+  det->set_channel(sc.h, 0.05);
+  const auto res = det->detect(sc.y);
   CVec shat(6);
   for (std::size_t i = 0; i < 6; ++i) shat[i] = c.point(res.symbols[i]);
   const CVec r = flexcore::linalg::sub(sc.y, sc.h * shat);
@@ -132,9 +136,9 @@ TEST(Sic, RecoversNoiseless) {
   ch::Rng rng(5);
   for (int t = 0; t < 20; ++t) {
     const Scenario sc = make_scenario(c, 8, 8, 0.0, rng);
-    fd::SicDetector det(c);
-    det.set_channel(sc.h, 1e-6);
-    EXPECT_EQ(det.detect(sc.y).symbols, sc.tx);
+    const auto det = fa::make_detector("zf-sic", {.constellation = &c});
+    det->set_channel(sc.h, 1e-6);
+    EXPECT_EQ(det->detect(sc.y).symbols, sc.tx);
   }
 }
 
@@ -142,10 +146,10 @@ TEST(Sic, BeatsPlainZfAtModerateSnr) {
   Constellation c(16);
   const double nv = ch::noise_var_for_snr_db(7.2);
   const auto zf = count_symbol_errors(c, 6, 6, nv, 500, 88, [&] {
-    return std::make_unique<fd::LinearDetector>(c, fd::LinearKind::kZeroForcing);
+    return fa::make_detector("zf", {.constellation = &c});
   });
   const auto sic = count_symbol_errors(c, 6, 6, nv, 500, 88, [&] {
-    return std::make_unique<fd::SicDetector>(c);
+    return fa::make_detector("zf-sic", {.constellation = &c});
   });
   EXPECT_LT(sic, zf);
 }
@@ -168,12 +172,12 @@ TEST_P(MlVsExhaustive, SphereDecoderIsExactlyML) {
   const double nv =
       ch::noise_var_for_snr_db(snr_db - 10.0 * std::log10(static_cast<double>(nt)));
   ch::Rng rng(100 + static_cast<unsigned>(order + nt));
-  fd::MlSphereDecoder sd(c);
+  const auto sd = fa::make_detector("ml-sd", {.constellation = &c});
   for (int t = 0; t < 25; ++t) {
     const Scenario sc = make_scenario(c, static_cast<std::size_t>(nt),
                                       static_cast<std::size_t>(nt), nv, rng);
-    sd.set_channel(sc.h, nv);
-    const auto got = sd.detect(sc.y);
+    sd->set_channel(sc.h, nv);
+    const auto got = sd->detect(sc.y);
     const auto want = fd::exhaustive_ml(c, sc.h, sc.y);
     EXPECT_EQ(got.symbols, want.symbols) << "trial " << t;
     EXPECT_NEAR(got.metric, want.metric, 1e-8);
@@ -190,13 +194,15 @@ TEST(MlSphere, UnsortedQrGivesSameAnswer) {
   Constellation c(16);
   const double nv = ch::noise_var_for_snr_db(7.2);
   ch::Rng rng(6);
-  fd::MlSphereDecoder sorted(c);
-  fd::MlSphereDecoder unsorted(c, {.max_nodes = 0, .use_sorted_qr = false});
+  fa::DetectorConfig unsorted_cfg{.constellation = &c};
+  unsorted_cfg.ml_sphere = {.max_nodes = 0, .use_sorted_qr = false};
+  const auto sorted = fa::make_detector("ml-sd", {.constellation = &c});
+  const auto unsorted = fa::make_detector("ml-sd", unsorted_cfg);
   for (int t = 0; t < 20; ++t) {
     const Scenario sc = make_scenario(c, 3, 3, nv, rng);
-    sorted.set_channel(sc.h, nv);
-    unsorted.set_channel(sc.h, nv);
-    EXPECT_EQ(sorted.detect(sc.y).symbols, unsorted.detect(sc.y).symbols);
+    sorted->set_channel(sc.h, nv);
+    unsorted->set_channel(sc.h, nv);
+    EXPECT_EQ(sorted->detect(sc.y).symbols, unsorted->detect(sc.y).symbols);
   }
 }
 
@@ -204,15 +210,17 @@ TEST(MlSphere, SortedQrVisitsFewerNodes) {
   Constellation c(16);
   const double nv = ch::noise_var_for_snr_db(6.2);
   ch::Rng rng(7);
-  fd::MlSphereDecoder sorted(c);
-  fd::MlSphereDecoder unsorted(c, {.max_nodes = 0, .use_sorted_qr = false});
+  fa::DetectorConfig unsorted_cfg{.constellation = &c};
+  unsorted_cfg.ml_sphere = {.max_nodes = 0, .use_sorted_qr = false};
+  const auto sorted = fa::make_detector("ml-sd", {.constellation = &c});
+  const auto unsorted = fa::make_detector("ml-sd", unsorted_cfg);
   std::uint64_t n_sorted = 0, n_unsorted = 0;
   for (int t = 0; t < 30; ++t) {
     const Scenario sc = make_scenario(c, 6, 6, nv, rng);
-    sorted.set_channel(sc.h, nv);
-    unsorted.set_channel(sc.h, nv);
-    n_sorted += sorted.detect(sc.y).stats.nodes_visited;
-    n_unsorted += unsorted.detect(sc.y).stats.nodes_visited;
+    sorted->set_channel(sc.h, nv);
+    unsorted->set_channel(sc.h, nv);
+    n_sorted += sorted->detect(sc.y).stats.nodes_visited;
+    n_unsorted += unsorted->detect(sc.y).stats.nodes_visited;
   }
   EXPECT_LT(n_sorted, n_unsorted);
 }
@@ -220,17 +228,17 @@ TEST(MlSphere, SortedQrVisitsFewerNodes) {
 TEST(MlSphere, NodeCountDropsWithSnr) {
   Constellation c(16);
   ch::Rng rng(8);
-  fd::MlSphereDecoder sd(c);
+  const auto sd = fa::make_detector("ml-sd", {.constellation = &c});
   std::uint64_t lo_snr_nodes = 0, hi_snr_nodes = 0;
   for (int t = 0; t < 20; ++t) {
     const double nv_lo = ch::noise_var_for_snr_db(-1.8);
     const double nv_hi = ch::noise_var_for_snr_db(16.2);
     Scenario sc = make_scenario(c, 6, 6, nv_lo, rng);
-    sd.set_channel(sc.h, nv_lo);
-    lo_snr_nodes += sd.detect(sc.y).stats.nodes_visited;
+    sd->set_channel(sc.h, nv_lo);
+    lo_snr_nodes += sd->detect(sc.y).stats.nodes_visited;
     sc = make_scenario(c, 6, 6, nv_hi, rng);
-    sd.set_channel(sc.h, nv_hi);
-    hi_snr_nodes += sd.detect(sc.y).stats.nodes_visited;
+    sd->set_channel(sc.h, nv_hi);
+    hi_snr_nodes += sd->detect(sc.y).stats.nodes_visited;
   }
   EXPECT_LT(hi_snr_nodes, lo_snr_nodes);
 }
@@ -239,10 +247,12 @@ TEST(MlSphere, TruncationStillReturnsACandidate) {
   Constellation c(64);
   const double nv = ch::noise_var_for_snr_db(1.0);
   ch::Rng rng(9);
-  fd::MlSphereDecoder sd(c, {.max_nodes = 50, .use_sorted_qr = true});
+  fa::DetectorConfig trunc_cfg{.constellation = &c};
+  trunc_cfg.ml_sphere = {.max_nodes = 50, .use_sorted_qr = true};
+  const auto sd = fa::make_detector("ml-sd", trunc_cfg);
   const Scenario sc = make_scenario(c, 8, 8, nv, rng);
-  sd.set_channel(sc.h, nv);
-  const auto res = sd.detect(sc.y);
+  sd->set_channel(sc.h, nv);
+  const auto res = sd->detect(sc.y);
   EXPECT_EQ(res.symbols.size(), 8u);
   EXPECT_TRUE(std::isfinite(res.metric));
   EXPECT_LE(res.stats.nodes_visited, 50u + 8u);
@@ -252,10 +262,10 @@ TEST(MlSphere, FlopCountersPopulated) {
   Constellation c(16);
   ch::Rng rng(10);
   const double nv = ch::noise_var_for_snr_db(7.0);
-  fd::MlSphereDecoder sd(c);
+  const auto sd = fa::make_detector("ml-sd", {.constellation = &c});
   const Scenario sc = make_scenario(c, 4, 4, nv, rng);
-  sd.set_channel(sc.h, nv);
-  const auto res = sd.detect(sc.y);
+  sd->set_channel(sc.h, nv);
+  const auto res = sd->detect(sc.y);
   EXPECT_GT(res.stats.nodes_visited, 0u);
   EXPECT_GT(res.stats.flops, res.stats.real_mults);
 }
@@ -264,21 +274,26 @@ TEST(MlSphere, FlopCountersPopulated) {
 
 TEST(Fcsd, NumPathsIsPowerOfConstellation) {
   Constellation c(16);
-  EXPECT_EQ(fd::FcsdDetector(c, 0).num_paths(), 1u);
-  EXPECT_EQ(fd::FcsdDetector(c, 1).num_paths(), 16u);
-  EXPECT_EQ(fd::FcsdDetector(c, 2).num_paths(), 256u);
-  EXPECT_EQ(fd::FcsdDetector(c, 1).parallel_tasks(), 16u);
+  const fa::DetectorConfig acfg{.constellation = &c};
+  const auto fcsd = [&](const char* spec) {
+    return fa::make_detector_as<fd::FcsdDetector>(spec, acfg);
+  };
+  EXPECT_EQ(fcsd("fcsd-L0")->num_paths(), 1u);
+  EXPECT_EQ(fcsd("fcsd-L1")->num_paths(), 16u);
+  EXPECT_EQ(fcsd("fcsd-L2")->num_paths(), 256u);
+  EXPECT_EQ(fcsd("fcsd-L1")->parallel_tasks(), 16u);
 }
 
 TEST(Fcsd, FullExpansionEqualsExhaustiveML) {
   Constellation c(4);
   const double nv = ch::noise_var_for_snr_db(1.2);
   ch::Rng rng(11);
-  fd::FcsdDetector det(c, 3);  // L = Nt: visits every leaf
+  // L = Nt: visits every leaf.
+  const auto det = fa::make_detector("fcsd-L3", {.constellation = &c});
   for (int t = 0; t < 25; ++t) {
     const Scenario sc = make_scenario(c, 3, 3, nv, rng);
-    det.set_channel(sc.h, nv);
-    const auto got = det.detect(sc.y);
+    det->set_channel(sc.h, nv);
+    const auto got = det->detect(sc.y);
     const auto want = fd::exhaustive_ml(c, sc.h, sc.y);
     EXPECT_EQ(got.symbols, want.symbols);
     EXPECT_NEAR(got.metric, want.metric, 1e-8);
@@ -288,11 +303,11 @@ TEST(Fcsd, FullExpansionEqualsExhaustiveML) {
 TEST(Fcsd, RecoversNoiseless) {
   Constellation c(64);
   ch::Rng rng(12);
-  fd::FcsdDetector det(c, 1);
+  const auto det = fa::make_detector("fcsd-L1", {.constellation = &c});
   for (int t = 0; t < 10; ++t) {
     const Scenario sc = make_scenario(c, 8, 8, 0.0, rng);
-    det.set_channel(sc.h, 1e-6);
-    EXPECT_EQ(det.detect(sc.y).symbols, sc.tx);
+    det->set_channel(sc.h, 1e-6);
+    EXPECT_EQ(det->detect(sc.y).symbols, sc.tx);
   }
 }
 
@@ -300,10 +315,10 @@ TEST(Fcsd, MoreLevelsNeverHurt) {
   Constellation c(16);
   const double nv = ch::noise_var_for_snr_db(6.2);
   const auto e1 = count_symbol_errors(c, 6, 6, nv, 300, 99, [&] {
-    return std::make_unique<fd::FcsdDetector>(c, 1);
+    return fa::make_detector("fcsd-L1", {.constellation = &c});
   });
   const auto e2 = count_symbol_errors(c, 6, 6, nv, 300, 99, [&] {
-    return std::make_unique<fd::FcsdDetector>(c, 2);
+    return fa::make_detector("fcsd-L2", {.constellation = &c});
   });
   EXPECT_LE(e2, e1);
 }
@@ -312,10 +327,10 @@ TEST(Fcsd, BeatsLinearDetection) {
   Constellation c(16);
   const double nv = ch::noise_var_for_snr_db(5.0);
   const auto mmse = count_symbol_errors(c, 8, 8, nv, 300, 101, [&] {
-    return std::make_unique<fd::LinearDetector>(c, fd::LinearKind::kMmse);
+    return fa::make_detector("mmse", {.constellation = &c});
   });
   const auto fcsd = count_symbol_errors(c, 8, 8, nv, 300, 101, [&] {
-    return std::make_unique<fd::FcsdDetector>(c, 1);
+    return fa::make_detector("fcsd-L1", {.constellation = &c});
   });
   EXPECT_LT(fcsd, mmse);
 }
@@ -324,15 +339,16 @@ TEST(Fcsd, DetectEqualsBestPathEvaluation) {
   Constellation c(16);
   const double nv = ch::noise_var_for_snr_db(6.0);
   ch::Rng rng(13);
-  fd::FcsdDetector det(c, 1);
+  const auto det =
+      fa::make_detector_as<fd::FcsdDetector>("fcsd-L1", {.constellation = &c});
   const Scenario sc = make_scenario(c, 4, 4, nv, rng);
-  det.set_channel(sc.h, nv);
-  const auto res = det.detect(sc.y);
+  det->set_channel(sc.h, nv);
+  const auto res = det->detect(sc.y);
 
-  const CVec ybar = det.rotate(sc.y);
+  const CVec ybar = det->rotate(sc.y);
   double best = 1e300;
-  for (std::size_t p = 0; p < det.num_paths(); ++p) {
-    best = std::min(best, det.evaluate_path(ybar, p).metric);
+  for (std::size_t p = 0; p < det->num_paths(); ++p) {
+    best = std::min(best, det->evaluate_path(ybar, p).metric);
   }
   EXPECT_NEAR(res.metric, best, 1e-10);
 }
@@ -341,12 +357,13 @@ TEST(Fcsd, PathMetricMatchesEvaluatePath) {
   Constellation c(16);
   const double nv = ch::noise_var_for_snr_db(6.0);
   ch::Rng rng(14);
-  fd::FcsdDetector det(c, 2);
+  const auto det =
+      fa::make_detector_as<fd::FcsdDetector>("fcsd-L2", {.constellation = &c});
   const Scenario sc = make_scenario(c, 4, 4, nv, rng);
-  det.set_channel(sc.h, nv);
-  const CVec ybar = det.rotate(sc.y);
-  for (std::size_t p = 0; p < det.num_paths(); p += 7) {
-    EXPECT_NEAR(det.path_metric(ybar, p), det.evaluate_path(ybar, p).metric,
+  det->set_channel(sc.h, nv);
+  const CVec ybar = det->rotate(sc.y);
+  for (std::size_t p = 0; p < det->num_paths(); p += 7) {
+    EXPECT_NEAR(det->path_metric(ybar, p), det->evaluate_path(ybar, p).metric,
                 1e-12);
   }
 }
@@ -354,9 +371,9 @@ TEST(Fcsd, PathMetricMatchesEvaluatePath) {
 TEST(Fcsd, TooManyLevelsThrows) {
   Constellation c(16);
   ch::Rng rng(15);
-  fd::FcsdDetector det(c, 5);
+  const auto det = fa::make_detector("fcsd-L5", {.constellation = &c});
   const CMat h = ch::rayleigh_iid(4, 4, rng);
-  EXPECT_THROW(det.set_channel(h, 0.1), std::invalid_argument);
+  EXPECT_THROW(det->set_channel(h, 0.1), std::invalid_argument);
 }
 
 // ------------------------------------------------------------------ K-best
@@ -365,12 +382,13 @@ TEST(KBest, ExactForTwoLayersWithFullWidth) {
   Constellation c(16);
   const double nv = ch::noise_var_for_snr_db(7.0);
   ch::Rng rng(16);
-  fd::KBestDetector det(c, 16);  // K = |Q| keeps every level-1 prefix
+  // K = |Q| keeps every level-1 prefix.
+  const auto det = fa::make_detector("kbest-16", {.constellation = &c});
   for (int t = 0; t < 20; ++t) {
     const Scenario sc = make_scenario(c, 2, 2, nv, rng);
-    det.set_channel(sc.h, nv);
+    det->set_channel(sc.h, nv);
     const auto want = fd::exhaustive_ml(c, sc.h, sc.y);
-    EXPECT_EQ(det.detect(sc.y).symbols, want.symbols);
+    EXPECT_EQ(det->detect(sc.y).symbols, want.symbols);
   }
 }
 
@@ -378,10 +396,10 @@ TEST(KBest, WiderIsNeverWorse) {
   Constellation c(16);
   const double nv = ch::noise_var_for_snr_db(6.2);
   const auto e4 = count_symbol_errors(c, 6, 6, nv, 250, 111, [&] {
-    return std::make_unique<fd::KBestDetector>(c, 4);
+    return fa::make_detector("kbest-4", {.constellation = &c});
   });
   const auto e32 = count_symbol_errors(c, 6, 6, nv, 250, 111, [&] {
-    return std::make_unique<fd::KBestDetector>(c, 32);
+    return fa::make_detector("kbest-32", {.constellation = &c});
   });
   EXPECT_LE(e32, e4);
 }
@@ -389,11 +407,11 @@ TEST(KBest, WiderIsNeverWorse) {
 TEST(KBest, RecoversNoiseless) {
   Constellation c(16);
   ch::Rng rng(17);
-  fd::KBestDetector det(c, 8);
+  const auto det = fa::make_detector("kbest-8", {.constellation = &c});
   for (int t = 0; t < 10; ++t) {
     const Scenario sc = make_scenario(c, 6, 6, 0.0, rng);
-    det.set_channel(sc.h, 1e-6);
-    EXPECT_EQ(det.detect(sc.y).symbols, sc.tx);
+    det->set_channel(sc.h, 1e-6);
+    EXPECT_EQ(det->detect(sc.y).symbols, sc.tx);
   }
 }
 
@@ -405,12 +423,12 @@ TEST(Trellis, ExactForTwoAntennas) {
   Constellation c(16);
   const double nv = ch::noise_var_for_snr_db(7.0);
   ch::Rng rng(18);
-  fd::TrellisDetector det(c);
+  const auto det = fa::make_detector("trellis50", {.constellation = &c});
   for (int t = 0; t < 20; ++t) {
     const Scenario sc = make_scenario(c, 2, 2, nv, rng);
-    det.set_channel(sc.h, nv);
+    det->set_channel(sc.h, nv);
     const auto want = fd::exhaustive_ml(c, sc.h, sc.y);
-    EXPECT_EQ(det.detect(sc.y).symbols, want.symbols);
+    EXPECT_EQ(det->detect(sc.y).symbols, want.symbols);
   }
 }
 
@@ -419,13 +437,13 @@ TEST(Trellis, BetweenMmseAndMlForLargerArrays) {
   Constellation c(16);
   const double nv = ch::noise_var_for_snr_db(6.2);
   const auto mmse = count_symbol_errors(c, 6, 6, nv, 250, 121, [&] {
-    return std::make_unique<fd::LinearDetector>(c, fd::LinearKind::kMmse);
+    return fa::make_detector("mmse", {.constellation = &c});
   });
   const auto trellis = count_symbol_errors(c, 6, 6, nv, 250, 121, [&] {
-    return std::make_unique<fd::TrellisDetector>(c);
+    return fa::make_detector("trellis50", {.constellation = &c});
   });
   const auto ml = count_symbol_errors(c, 6, 6, nv, 250, 121, [&] {
-    return std::make_unique<fd::MlSphereDecoder>(c);
+    return fa::make_detector("ml-sd", {.constellation = &c});
   });
   EXPECT_LT(trellis, mmse);
   EXPECT_LE(ml, trellis);
@@ -433,18 +451,18 @@ TEST(Trellis, BetweenMmseAndMlForLargerArrays) {
 
 TEST(Trellis, FixedParallelTasks) {
   Constellation c(64);
-  fd::TrellisDetector det(c);
-  EXPECT_EQ(det.parallel_tasks(), 64u);
+  const auto det = fa::make_detector("trellis50", {.constellation = &c});
+  EXPECT_EQ(det->parallel_tasks(), 64u);
 }
 
 TEST(Trellis, RecoversNoiseless) {
   Constellation c(16);
   ch::Rng rng(19);
-  fd::TrellisDetector det(c);
+  const auto det = fa::make_detector("trellis50", {.constellation = &c});
   for (int t = 0; t < 10; ++t) {
     const Scenario sc = make_scenario(c, 6, 6, 0.0, rng);
-    det.set_channel(sc.h, 1e-6);
-    EXPECT_EQ(det.detect(sc.y).symbols, sc.tx);
+    det->set_channel(sc.h, 1e-6);
+    EXPECT_EQ(det->detect(sc.y).symbols, sc.tx);
   }
 }
 
@@ -456,13 +474,10 @@ TEST(AllDetectors, AgreeOnCleanChannel) {
   const Scenario sc = make_scenario(c, 6, 6, 0.0, rng);
 
   std::vector<std::unique_ptr<fd::Detector>> dets;
-  dets.push_back(std::make_unique<fd::LinearDetector>(c, fd::LinearKind::kZeroForcing));
-  dets.push_back(std::make_unique<fd::LinearDetector>(c, fd::LinearKind::kMmse));
-  dets.push_back(std::make_unique<fd::SicDetector>(c));
-  dets.push_back(std::make_unique<fd::MlSphereDecoder>(c));
-  dets.push_back(std::make_unique<fd::FcsdDetector>(c, 1));
-  dets.push_back(std::make_unique<fd::KBestDetector>(c, 8));
-  dets.push_back(std::make_unique<fd::TrellisDetector>(c));
+  for (const char* spec :
+       {"zf", "mmse", "zf-sic", "ml-sd", "fcsd-L1", "kbest-8", "trellis50"}) {
+    dets.push_back(fa::make_detector(spec, {.constellation = &c}));
+  }
 
   for (auto& det : dets) {
     det->set_channel(sc.h, 1e-9);
@@ -473,14 +488,10 @@ TEST(AllDetectors, AgreeOnCleanChannel) {
 TEST(AllDetectors, NamesAreUniqueAndNonEmpty) {
   Constellation c(16);
   std::vector<std::unique_ptr<fd::Detector>> dets;
-  dets.push_back(std::make_unique<fd::LinearDetector>(c, fd::LinearKind::kZeroForcing));
-  dets.push_back(std::make_unique<fd::LinearDetector>(c, fd::LinearKind::kMmse));
-  dets.push_back(std::make_unique<fd::SicDetector>(c));
-  dets.push_back(std::make_unique<fd::MlSphereDecoder>(c));
-  dets.push_back(std::make_unique<fd::FcsdDetector>(c, 1));
-  dets.push_back(std::make_unique<fd::FcsdDetector>(c, 2));
-  dets.push_back(std::make_unique<fd::KBestDetector>(c, 8));
-  dets.push_back(std::make_unique<fd::TrellisDetector>(c));
+  for (const char* spec : {"zf", "mmse", "zf-sic", "ml-sd", "fcsd-L1",
+                           "fcsd-L2", "kbest-8", "trellis50"}) {
+    dets.push_back(fa::make_detector(spec, {.constellation = &c}));
+  }
   std::set<std::string> names;
   for (auto& det : dets) {
     EXPECT_FALSE(det->name().empty());

@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "api/detector_registry.h"
 #include "channel/estimation.h"
 #include "channel/trace.h"
 #include "core/adaptive_kbest.h"
@@ -12,6 +13,7 @@
 #include "detect/kbest.h"
 #include "perfmodel/fixed_path.h"
 
+namespace fa = flexcore::api;
 namespace ch = flexcore::channel;
 namespace fc = flexcore::core;
 namespace fd = flexcore::detect;
@@ -25,7 +27,7 @@ using flexcore::modulation::Constellation;
 TEST(AdaptiveKBest, RecoversNoiseless) {
   Constellation c(16);
   ch::Rng rng(1);
-  fc::AdaptiveKBestDetector det(c, 16);
+  const auto det = fa::make_detector("akbest-16", {.constellation = &c});
   for (int t = 0; t < 10; ++t) {
     const CMat h = ch::rayleigh_iid(6, 6, rng);
     CVec s(6);
@@ -35,8 +37,8 @@ TEST(AdaptiveKBest, RecoversNoiseless) {
       s[static_cast<std::size_t>(u)] = c.point(tx[static_cast<std::size_t>(u)]);
     }
     const CVec y = ch::transmit(h, s, 0.0, rng);
-    det.set_channel(h, 1e-6);
-    EXPECT_EQ(det.detect(y).symbols, tx);
+    det->set_channel(h, 1e-6);
+    EXPECT_EQ(det->detect(y).symbols, tx);
   }
 }
 
@@ -45,10 +47,11 @@ TEST(AdaptiveKBest, WidthsAreMonotoneDownTheTree) {
   // down to 1, i.e. array index nt-1 down to 0).
   Constellation c(64);
   ch::Rng rng(2);
-  fc::AdaptiveKBestDetector det(c, 64);
+  const auto det = fa::make_detector_as<fc::AdaptiveKBestDetector>(
+      "akbest-64", {.constellation = &c});
   const CMat h = ch::rayleigh_iid(8, 8, rng);
-  det.set_channel(h, 0.02);
-  const auto& k = det.level_widths();
+  det->set_channel(h, 0.02);
+  const auto& k = det->level_widths();
   ASSERT_EQ(k.size(), 8u);
   for (std::size_t i = 0; i + 1 < k.size(); ++i) {
     EXPECT_GE(k[i], k[i + 1]) << "widths must not shrink downwards";
@@ -61,11 +64,12 @@ TEST(AdaptiveKBest, WidthsBoundedByBudget) {
   Constellation c(16);
   ch::Rng rng(3);
   for (std::size_t budget : {4u, 16u, 64u}) {
-    fc::AdaptiveKBestDetector det(c, budget);
+    const auto det = fa::make_detector_as<fc::AdaptiveKBestDetector>(
+        "akbest-" + std::to_string(budget), {.constellation = &c});
     const CMat h = ch::rayleigh_iid(6, 6, rng);
-    det.set_channel(h, 0.1);
-    for (std::size_t k : det.level_widths()) EXPECT_LE(k, budget);
-    EXPECT_LE(det.parallel_tasks(), budget);
+    det->set_channel(h, 0.1);
+    for (std::size_t k : det->level_widths()) EXPECT_LE(k, budget);
+    EXPECT_LE(det->parallel_tasks(), budget);
   }
 }
 
@@ -74,12 +78,13 @@ TEST(AdaptiveKBest, MoreBudgetNeverWorse) {
   const double nv = ch::noise_var_for_snr_db(8.0);
   auto run = [&](std::size_t budget) {
     ch::Rng rng(4);
-    fc::AdaptiveKBestDetector det(c, budget);
+    const auto det = fa::make_detector(
+        "akbest-" + std::to_string(budget), {.constellation = &c});
     std::size_t err = 0;
     for (int t = 0; t < 150; ++t) {
       ch::Rng hrng(100 + static_cast<unsigned>(t));
       const CMat h = ch::rayleigh_iid(6, 6, hrng);
-      det.set_channel(h, nv);
+      det->set_channel(h, nv);
       CVec s(6);
       std::vector<int> tx(6);
       for (int u = 0; u < 6; ++u) {
@@ -87,7 +92,7 @@ TEST(AdaptiveKBest, MoreBudgetNeverWorse) {
         s[static_cast<std::size_t>(u)] = c.point(tx[static_cast<std::size_t>(u)]);
       }
       const CVec y = ch::transmit(h, s, nv, rng);
-      const auto res = det.detect(y);
+      const auto res = det->detect(y);
       for (int u = 0; u < 6; ++u) {
         err += res.symbols[static_cast<std::size_t>(u)] !=
                tx[static_cast<std::size_t>(u)];
@@ -102,8 +107,8 @@ TEST(AdaptiveKBest, MoreBudgetNeverWorse) {
 
 TEST(AdaptiveKBest, NameAndInterface) {
   Constellation c(16);
-  fc::AdaptiveKBestDetector det(c, 32);
-  EXPECT_EQ(det.name(), "akbest-32");
+  const auto det = fa::make_detector("akbest-32", {.constellation = &c});
+  EXPECT_EQ(det->name(), "akbest-32");
 }
 
 // ------------------------------------------------------- channel estimation
@@ -242,24 +247,23 @@ TEST(Aging, PreservesUserGains) {
 
 TEST(FixedPath, MetricTracksDoubleEngine) {
   Constellation c(16);
-  fc::FlexCoreConfig cfg;
-  cfg.num_pes = 16;
-  fc::FlexCoreDetector det(c, cfg);
+  const auto det = fa::make_detector_as<fc::FlexCoreDetector>(
+      "flexcore-16", {.constellation = &c});
   ch::Rng rng(20);
   const CMat h = ch::rayleigh_iid(6, 6, rng);
   const double nv = 0.05;
-  det.set_channel(h, nv);
+  det->set_channel(h, nv);
   CVec s(6);
   for (int u = 0; u < 6; ++u) s[static_cast<std::size_t>(u)] = c.point(5);
   const CVec y = ch::transmit(h, s, nv, rng);
-  const CVec ybar = det.rotate(y);
+  const CVec ybar = det->rotate(y);
 
-  for (std::size_t p = 0; p < det.active_paths(); ++p) {
-    const auto dbl = det.evaluate_path(ybar, p);
-    const auto fix = pm::fixed_path_walk(det.constellation(), det.lut(),
-                                         det.qr().R,
-                                         det.preprocessing().paths[p].p,
-                                         det.config().invalid_policy, ybar);
+  for (std::size_t p = 0; p < det->active_paths(); ++p) {
+    const auto dbl = det->evaluate_path(ybar, p);
+    const auto fix = pm::fixed_path_walk(det->constellation(), det->lut(),
+                                         det->qr().R,
+                                         det->preprocessing().paths[p].p,
+                                         det->config().invalid_policy, ybar);
     // Paths valid in double should be valid in fixed point and vice versa
     // except within quantization of the slicer boundary; metrics agree to
     // Q4.11 resolution accumulated over the walk.
@@ -272,13 +276,12 @@ TEST(FixedPath, MetricTracksDoubleEngine) {
 
 TEST(FixedPath, HighAgreementWithDoubleDecisions) {
   Constellation c(16);
-  fc::FlexCoreConfig cfg;
-  cfg.num_pes = 32;
-  fc::FlexCoreDetector det(c, cfg);
+  const auto det = fa::make_detector_as<fc::FlexCoreDetector>(
+      "flexcore-32", {.constellation = &c});
   ch::Rng rng(21);
   const CMat h = ch::rayleigh_iid(6, 6, rng);
   const double nv = ch::noise_var_for_snr_db(14.0);
-  det.set_channel(h, nv);
+  det->set_channel(h, nv);
 
   std::vector<CVec> ys;
   CVec s(6);
@@ -288,13 +291,12 @@ TEST(FixedPath, HighAgreementWithDoubleDecisions) {
     }
     ys.push_back(ch::transmit(h, s, nv, rng));
   }
-  EXPECT_GE(pm::fixed_vs_double_agreement(det, ys), 0.9);
+  EXPECT_GE(pm::fixed_vs_double_agreement(*det, ys), 0.9);
 }
 
 TEST(FixedPath, EmptyBatchAgreementIsOne) {
   Constellation c(16);
-  fc::FlexCoreConfig cfg;
-  cfg.num_pes = 4;
-  fc::FlexCoreDetector det(c, cfg);
-  EXPECT_EQ(pm::fixed_vs_double_agreement(det, {}), 1.0);
+  const auto det = fa::make_detector_as<fc::FlexCoreDetector>(
+      "flexcore-4", {.constellation = &c});
+  EXPECT_EQ(pm::fixed_vs_double_agreement(*det, {}), 1.0);
 }

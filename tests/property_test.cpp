@@ -7,6 +7,7 @@
 #include <random>
 #include <set>
 
+#include "api/detector_registry.h"
 #include "channel/channel.h"
 #include "channel/trace.h"
 #include "coding/convolutional.h"
@@ -18,6 +19,7 @@
 #include "linalg/svd.h"
 #include "perfmodel/fixed_point.h"
 
+namespace fa = flexcore::api;
 namespace ch = flexcore::channel;
 namespace fc = flexcore::core;
 namespace fd = flexcore::detect;
@@ -93,20 +95,22 @@ TEST_P(BijectionSweep, AllPositionVectorsWithExactOrderingAreML) {
   const fl::CMat h = ch::rayleigh_iid(nt, nt, rng);
   const double nv = 0.15;
 
-  fc::FlexCoreConfig cfg;
-  cfg.num_pes = 1;
-  while (cfg.num_pes < std::pow(4.0, static_cast<double>(nt))) cfg.num_pes *= 4;
-  cfg.ordering = fc::OrderingMode::kExactSort;
-  cfg.candidate_list_cap = 1u << 20;
-  fc::FlexCoreDetector det(c, cfg);
-  det.set_channel(h, nv);
+  fa::DetectorConfig acfg{.constellation = &c};
+  acfg.flexcore.num_pes = 1;
+  while (acfg.flexcore.num_pes < std::pow(4.0, static_cast<double>(nt))) {
+    acfg.flexcore.num_pes *= 4;
+  }
+  acfg.flexcore.ordering = fc::OrderingMode::kExactSort;
+  acfg.flexcore.candidate_list_cap = 1u << 20;
+  const auto det = fa::make_detector("flexcore", acfg);
+  det->set_channel(h, nv);
 
   fl::CVec s(nt);
   for (std::size_t u = 0; u < nt; ++u) {
     s[u] = c.point(static_cast<int>(rng.uniform_int(4)));
   }
   const fl::CVec y = ch::transmit(h, s, nv, rng);
-  const auto flex = det.detect(y);
+  const auto flex = det->detect(y);
   const auto ml = fd::exhaustive_ml(c, h, y);
   EXPECT_EQ(flex.symbols, ml.symbols);
   EXPECT_NEAR(flex.metric, ml.metric, 1e-9);
@@ -118,18 +122,19 @@ TEST_P(BijectionSweep, PreprocessingCoversDistinctLeavesExactly) {
   Constellation c(16);
   ch::Rng rng(GetParam() * 31 + 2);
   const fl::CMat h = ch::rayleigh_iid(4, 4, rng);
-  fc::FlexCoreConfig cfg;
-  cfg.num_pes = 32;
-  cfg.ordering = fc::OrderingMode::kExactSort;
-  fc::FlexCoreDetector det(c, cfg);
-  det.set_channel(h, 0.05);
+  fa::DetectorConfig acfg{.constellation = &c};
+  acfg.flexcore.num_pes = 32;
+  acfg.flexcore.ordering = fc::OrderingMode::kExactSort;
+  const auto det =
+      fa::make_detector_as<fc::FlexCoreDetector>("flexcore", acfg);
+  det->set_channel(h, 0.05);
   fl::CVec s(4, c.point(0));
   const fl::CVec y = ch::transmit(h, s, 0.05, rng);
-  const fl::CVec ybar = det.rotate(y);
+  const fl::CVec ybar = det->rotate(y);
 
   std::set<std::vector<int>> leaves;
-  for (std::size_t p = 0; p < det.active_paths(); ++p) {
-    const auto ev = det.evaluate_path(ybar, p);
+  for (std::size_t p = 0; p < det->active_paths(); ++p) {
+    const auto ev = det->evaluate_path(ybar, p);
     ASSERT_TRUE(ev.valid);  // exact ordering never deactivates for k <= |Q|
     EXPECT_TRUE(leaves.insert(ev.symbols).second)
         << "two position vectors resolved to the same leaf";

@@ -1,17 +1,19 @@
-// Tests for the OFDM numerology, coded uplink simulation and batch engine.
+// Tests for the OFDM numerology, coded uplink simulation and the batched
+// detection entry point (Detector::detect_batch).
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "api/detector_registry.h"
 #include "channel/trace.h"
+#include "core/flexcore_detector.h"
 #include "detect/fcsd.h"
-#include "detect/linear.h"
-#include "detect/sic.h"
 #include "ofdm/ofdm.h"
-#include "sim/engine.h"
+#include "parallel/thread_pool.h"
 #include "sim/link.h"
 #include "sim/montecarlo.h"
 
+namespace fa = flexcore::api;
 namespace fs = flexcore::sim;
 namespace fd = flexcore::detect;
 namespace fc = flexcore::core;
@@ -76,12 +78,12 @@ TEST(Link, PerfectChannelDeliversEveryPacket) {
   const fs::LinkConfig lcfg = small_link(16);
   fs::UplinkPacketLink link(lcfg);
   Constellation c(16);
-  fd::SicDetector det(c);
+  const auto det = fa::make_detector("zf-sic", {.constellation = &c});
 
   ch::TraceGenerator gen(small_trace(4, 4), 42);
   ch::Rng rng(43);
   const auto trace = gen.next();
-  const auto out = link.run_packet(det, trace, 1e-9, rng);
+  const auto out = link.run_packet(*det, trace, 1e-9, rng);
   for (bool ok : out.user_ok) EXPECT_TRUE(ok);
   EXPECT_EQ(out.symbol_errors, 0u);
   EXPECT_EQ(out.vectors_detected,
@@ -101,11 +103,11 @@ TEST(Link, HeavyNoiseKillsPackets) {
   const fs::LinkConfig lcfg = small_link(16);
   fs::UplinkPacketLink link(lcfg);
   Constellation c(16);
-  fd::LinearDetector det(c, fd::LinearKind::kMmse);
+  const auto det = fa::make_detector("mmse", {.constellation = &c});
 
   ch::TraceGenerator gen(small_trace(4, 4), 44);
   ch::Rng rng(45);
-  const auto out = link.run_packet(det, gen.next(), 10.0, rng);
+  const auto out = link.run_packet(*det, gen.next(), 10.0, rng);
   std::size_t failed = 0;
   for (bool ok : out.user_ok) failed += !ok;
   EXPECT_GT(failed, 0u);
@@ -118,14 +120,14 @@ TEST(Link, CodingCorrectsSparseSymbolErrors) {
   const fs::LinkConfig lcfg = small_link(4);
   fs::UplinkPacketLink link(lcfg);
   Constellation c(4);
-  fd::SicDetector det(c);
+  const auto det = fa::make_detector("zf-sic", {.constellation = &c});
 
   ch::TraceGenerator gen(small_trace(6, 4), 46);
   ch::Rng rng(47);
   std::size_t sym_errors = 0, packets_ok = 0, packets = 0;
   const double nv = ch::noise_var_for_snr_db(6.0);
   for (int p = 0; p < 10; ++p) {
-    const auto out = link.run_packet(det, gen.next(), nv, rng);
+    const auto out = link.run_packet(*det, gen.next(), nv, rng);
     sym_errors += out.symbol_errors;
     for (bool ok : out.user_ok) {
       ++packets;
@@ -142,9 +144,8 @@ TEST(Link, SoftDecodingBeatsHardAtSameSnr) {
   fs::LinkConfig lcfg = small_link(16);
   fs::UplinkPacketLink link(lcfg);
   Constellation c(16);
-  fc::FlexCoreConfig fcfg;
-  fcfg.num_pes = 32;
-  fc::FlexCoreDetector det(c, fcfg);
+  const auto det = fa::make_detector_as<fc::FlexCoreDetector>(
+      "flexcore-32", {.constellation = &c});
 
   const double nv = ch::noise_var_for_snr_db(10.0);
   std::size_t hard_ok = 0, soft_ok = 0;
@@ -153,8 +154,8 @@ TEST(Link, SoftDecodingBeatsHardAtSameSnr) {
     ch::Rng rng_h(100 + static_cast<unsigned>(p));
     ch::Rng rng_s(100 + static_cast<unsigned>(p));  // identical noise draws
     const auto trace = gen.next();
-    const auto hard = link.run_packet(det, trace, nv, rng_h);
-    const auto soft = link.run_packet_soft(det, trace, nv, rng_s);
+    const auto hard = link.run_packet(*det, trace, nv, rng_h);
+    const auto soft = link.run_packet_soft(*det, trace, nv, rng_s);
     for (bool ok : hard.user_ok) hard_ok += ok;
     for (bool ok : soft.user_ok) soft_ok += ok;
   }
@@ -165,13 +166,13 @@ TEST(Link, SoftDecodingBeatsHardAtSameSnr) {
 
 TEST(MonteCarlo, VerDecreasesWithSnr) {
   Constellation c(16);
-  fd::SicDetector det(c);
+  const auto det = fa::make_detector("zf-sic", {.constellation = &c});
   fs::VerScenario sc;
   sc.nr = 6;
   sc.nt = 6;
   sc.qam_order = 16;
-  const auto lo = fs::measure_vector_error_rate(det, sc, 8.0, 30, 20, 7);
-  const auto hi = fs::measure_vector_error_rate(det, sc, 20.0, 30, 20, 7);
+  const auto lo = fs::measure_vector_error_rate(*det, sc, 8.0, 30, 20, 7);
+  const auto hi = fs::measure_vector_error_rate(*det, sc, 20.0, 30, 20, 7);
   EXPECT_GT(lo.ver, hi.ver);
   EXPECT_GE(lo.ver, lo.ser);  // a vector error needs >= 1 symbol error
   EXPECT_EQ(lo.vectors, 600u);
@@ -179,75 +180,78 @@ TEST(MonteCarlo, VerDecreasesWithSnr) {
 
 TEST(MonteCarlo, ThroughputReflectsPer) {
   Constellation c(16);
-  fd::LinearDetector det(c, fd::LinearKind::kMmse);
+  const auto det = fa::make_detector("mmse", {.constellation = &c});
   fs::LinkConfig lcfg = small_link(16);
   ch::TraceConfig tcfg = small_trace(6, 4);
 
   // Clean: every packet lands, throughput = Nt * per-user rate.
-  const auto clean = fs::measure_throughput(det, lcfg, tcfg, 1e-9, 4, 11);
+  const auto clean = fs::measure_throughput(*det, lcfg, tcfg, 1e-9, 4, 11);
   EXPECT_NEAR(clean.avg_per, 0.0, 1e-12);
   EXPECT_NEAR(clean.throughput_mbps, 4 * fo::per_user_rate_mbps(lcfg.ofdm, 4),
               1e-9);
 
   // Noisy: PER > 0 and throughput drops accordingly.
-  const auto noisy = fs::measure_throughput(det, lcfg, tcfg, 0.5, 4, 11);
+  const auto noisy = fs::measure_throughput(*det, lcfg, tcfg, 0.5, 4, 11);
   EXPECT_GT(noisy.avg_per, 0.0);
   EXPECT_LT(noisy.throughput_mbps, clean.throughput_mbps);
 }
 
 TEST(MonteCarlo, FindSnrForPerBrackets) {
   Constellation c(4);
-  fd::SicDetector det(c);
+  const auto det = fa::make_detector("zf-sic", {.constellation = &c});
   fs::LinkConfig lcfg = small_link(4);
   ch::TraceConfig tcfg = small_trace(6, 4);
   const double snr =
-      fs::find_snr_for_per(det, lcfg, tcfg, 0.5, 0.0, 30.0, 5, 4, 13);
+      fs::find_snr_for_per(*det, lcfg, tcfg, 0.5, 0.0, 30.0, 5, 4, 13);
   EXPECT_GT(snr, 0.0);
   EXPECT_LT(snr, 30.0);
   // PER at the found SNR should be in a sane band around the target.
   const double nv = ch::noise_var_for_snr_db(snr);
-  const auto r = fs::measure_throughput(det, lcfg, tcfg, nv, 16, 13);
+  const auto r = fs::measure_throughput(*det, lcfg, tcfg, nv, 16, 13);
   EXPECT_GT(r.avg_per, 0.05);
   EXPECT_LT(r.avg_per, 0.95);
 }
 
-// ---------------------------------------------------------------- engine
+// ---------------------------------------------------------- detect_batch
 
-TEST(Engine, BatchMatchesSequentialDetection) {
+TEST(Batch, FcsdBatchMatchesSequentialDetection) {
   Constellation c(16);
-  fd::FcsdDetector det(c, 1);
+  const auto det =
+      fa::make_detector_as<fd::FcsdDetector>("fcsd-L1", {.constellation = &c});
   ch::Rng rng(55);
   const auto h = ch::rayleigh_iid(6, 6, rng);
   const double nv = 0.02;
-  det.set_channel(h, nv);
+  det->set_channel(h, nv);
 
   std::vector<flexcore::linalg::CVec> ys;
-  std::vector<double> want;
+  std::vector<flexcore::detect::DetectionResult> want;
   for (int v = 0; v < 40; ++v) {
     flexcore::linalg::CVec s(6);
     for (int u = 0; u < 6; ++u) s[static_cast<std::size_t>(u)] = c.point(static_cast<int>(rng.uniform_int(16)));
     ys.push_back(ch::transmit(h, s, nv, rng));
-    want.push_back(det.detect(ys.back()).metric);
+    want.push_back(det->detect(ys.back()));
   }
 
   flexcore::parallel::ThreadPool pool(2);
-  const auto out = fs::batch_detect(det, det.num_paths(), ys, pool);
-  ASSERT_EQ(out.best_metric.size(), ys.size());
-  EXPECT_EQ(out.tasks, ys.size() * det.num_paths());
+  det->set_thread_pool(&pool);
+  flexcore::detect::BatchResult out;
+  det->detect_batch(ys, &out);
+  ASSERT_EQ(out.results.size(), ys.size());
+  EXPECT_EQ(out.tasks, ys.size() * det->num_paths());
   for (std::size_t v = 0; v < ys.size(); ++v) {
-    EXPECT_NEAR(out.best_metric[v], want[v], 1e-9) << "vector " << v;
+    EXPECT_EQ(out.results[v].symbols, want[v].symbols) << "vector " << v;
+    EXPECT_NEAR(out.results[v].metric, want[v].metric, 1e-9) << "vector " << v;
   }
 }
 
-TEST(Engine, FlexCoreBatchMatchesSequential) {
+TEST(Batch, FlexCoreBatchMatchesSequential) {
   Constellation c(16);
-  fc::FlexCoreConfig cfg;
-  cfg.num_pes = 24;
-  fc::FlexCoreDetector det(c, cfg);
+  const auto det = fa::make_detector_as<fc::FlexCoreDetector>(
+      "flexcore-24", {.constellation = &c});
   ch::Rng rng(56);
   const auto h = ch::rayleigh_iid(6, 6, rng);
   const double nv = 0.05;
-  det.set_channel(h, nv);
+  det->set_channel(h, nv);
 
   std::vector<flexcore::linalg::CVec> ys;
   for (int v = 0; v < 30; ++v) {
@@ -257,17 +261,24 @@ TEST(Engine, FlexCoreBatchMatchesSequential) {
   }
 
   flexcore::parallel::ThreadPool pool(2);
-  const auto out = fs::batch_detect(det, det.active_paths(), ys, pool);
+  det->set_thread_pool(&pool);
+  flexcore::detect::BatchResult out;
+  det->detect_batch(ys, &out);
+  EXPECT_EQ(out.tasks, ys.size() * det->active_paths());
   for (std::size_t v = 0; v < ys.size(); ++v) {
-    EXPECT_NEAR(out.best_metric[v], det.detect(ys[v]).metric, 1e-9);
+    const auto want = det->detect(ys[v]);
+    EXPECT_EQ(out.results[v].symbols, want.symbols) << "vector " << v;
+    EXPECT_NEAR(out.results[v].metric, want.metric, 1e-9);
   }
 }
 
-TEST(Engine, EmptyBatchIsSafe) {
+TEST(Batch, EmptyBatchIsSafe) {
   Constellation c(16);
-  fd::FcsdDetector det(c, 1);
+  const auto det = fa::make_detector("fcsd-L1", {.constellation = &c});
   flexcore::parallel::ThreadPool pool(2);
-  const auto out = fs::batch_detect(det, 16, {}, pool);
+  det->set_thread_pool(&pool);
+  flexcore::detect::BatchResult out;
+  det->detect_batch({}, &out);
   EXPECT_EQ(out.tasks, 0u);
-  EXPECT_TRUE(out.best_metric.empty());
+  EXPECT_TRUE(out.results.empty());
 }
