@@ -1,0 +1,108 @@
+// Machine-readable bench results: every harness that wants its numbers
+// tracked across PRs appends rows to a BenchJson and the collected rows are
+// written to BENCH_<name>.json in the working directory on destruction.
+//
+// Schema (one object per file):
+//   { "bench": "<name>", "rows": [ { "<field>": <value>, ... }, ... ] }
+//
+// Rows are flat key -> (string|number) maps, e.g. one row per (panel,
+// detector) with a throughput field.  Keep field names stable: the perf
+// trajectory is diffed across commits.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flexcore::bench {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+  ~BenchJson() { write(); }
+
+  /// Starts a new result row; field(...) calls fill it.
+  BenchJson& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  BenchJson& field(const char* key, const std::string& value) {
+    rows_.back().emplace_back(key, quote(value));
+    return *this;
+  }
+  BenchJson& field(const char* key, const char* value) {
+    return field(key, std::string(value));
+  }
+  BenchJson& field(const char* key, double value) {
+    if (!std::isfinite(value)) {  // JSON has no inf/nan tokens
+      rows_.back().emplace_back(key, "null");
+      return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    rows_.back().emplace_back(key, buf);
+    return *this;
+  }
+  BenchJson& field(const char* key, std::size_t value) {
+    rows_.back().emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  BenchJson& field(const char* key, int value) {
+    rows_.back().emplace_back(key, std::to_string(value));
+    return *this;
+  }
+
+  /// Writes BENCH_<name>.json now (also runs at destruction).  Safe to call
+  /// repeatedly; later rows overwrite the file with the full set.
+  void write() const {
+    if (rows_.empty()) return;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\"bench\": %s, \"rows\": [\n", quote(name_).c_str());
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "  {");
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        std::fprintf(f, "%s%s: %s", i ? ", " : "",
+                     quote(rows_[r][i].first).c_str(),
+                     rows_[r][i].second.c_str());
+      }
+      std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+}  // namespace flexcore::bench

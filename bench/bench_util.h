@@ -7,9 +7,15 @@
 // EXPERIMENTS.md records which settings produced the committed numbers.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
+
+#include "api/uplink_pipeline.h"
+#include "channel/rng.h"
+#include "channel/trace.h"
 
 namespace flexcore::bench {
 
@@ -36,6 +42,112 @@ inline void banner(const char* title) {
 inline void rule() {
   std::printf("-------------------------------------------------------------"
               "-----------------\n");
+}
+
+/// Result of one frame-mode vs per-subcarrier-loop detection comparison.
+struct FrameLoopResult {
+  double loop_vps = 0.0;    ///< vectors/sec, sequential set_channel+detect
+  double frame_vps = 0.0;   ///< vectors/sec, one detect_frame job per frame
+  double stream_vps = 0.0;  ///< vectors/sec, coherence-interval streaming
+  bool identical = true;    ///< hard decisions bit-identical across modes
+  std::size_t vectors = 0;  ///< nsc * nsym per frame
+};
+
+/// Times the same frame of detection work three ways on one pipeline:
+/// (a) the per-subcarrier loop (set_channel + detect per subcarrier),
+/// (b) one detect_frame job per frame (full preprocessing every frame) and
+/// (c) streaming frames through a static-channel coherence interval with
+///     FrameJob::reuse_preprocessing — the amortization the loop cannot
+///     express because set_channel overwrites the single-channel state.
+/// Decisions are cross-checked for bit-identity across all three.
+inline FrameLoopResult compare_frame_vs_loop(api::UplinkPipeline& pipe,
+                                             std::size_t nsc, std::size_t nsym,
+                                             std::size_t nr, std::size_t nt,
+                                             double noise_var,
+                                             std::uint64_t seed,
+                                             std::size_t repeats = 3) {
+  using clock = std::chrono::steady_clock;
+  channel::TraceConfig tcfg;
+  tcfg.nr = nr;
+  tcfg.nt = nt;
+  tcfg.num_subcarriers = nsc;
+  channel::TraceGenerator gen(tcfg, seed);
+  const channel::ChannelTrace trace = gen.next();
+  channel::Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+
+  const modulation::Constellation& c = pipe.constellation();
+  std::vector<linalg::CVec> ys(nsc * nsym);
+  linalg::CVec s(nt);
+  for (std::size_t f = 0; f < nsc; ++f) {
+    for (std::size_t t = 0; t < nsym; ++t) {
+      for (std::size_t u = 0; u < nt; ++u) {
+        s[u] = c.point(static_cast<int>(
+            rng.uniform_int(static_cast<std::uint64_t>(c.order()))));
+      }
+      ys[f * nsym + t] =
+          channel::transmit(trace.per_subcarrier[f], s, noise_var, rng);
+    }
+  }
+
+  FrameLoopResult out;
+  out.vectors = nsc * nsym;
+  const std::span<const linalg::CVec> yspan(ys);
+
+  // Mode (a): the per-subcarrier set_channel + detect loop.
+  std::vector<detect::DetectionResult> loop_results(ys.size());
+  double loop_seconds = 0.0;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    const auto t0 = clock::now();
+    for (std::size_t f = 0; f < nsc; ++f) {
+      pipe.set_channel(trace.per_subcarrier[f], noise_var);
+      detect::BatchResult batch = pipe.detect(yspan.subspan(f * nsym, nsym));
+      for (std::size_t t = 0; t < nsym; ++t) {
+        loop_results[f * nsym + t] = std::move(batch.results[t]);
+      }
+    }
+    loop_seconds += std::chrono::duration<double>(clock::now() - t0).count();
+  }
+
+  // Mode (b): one frame job per frame (first call warms the per-subcarrier
+  // clones and grid buffers; repeats measure the steady state).
+  api::FrameJob job;
+  job.channels =
+      std::span<const linalg::CMat>(trace.per_subcarrier.data(), nsc);
+  job.ys = yspan;
+  job.vectors_per_channel = nsym;
+  job.noise_var = noise_var;
+  api::FrameResult fr = pipe.detect_frame(job);
+  double frame_seconds = 0.0;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    const auto t0 = clock::now();
+    fr = pipe.detect_frame(job);
+    frame_seconds += std::chrono::duration<double>(clock::now() - t0).count();
+  }
+
+  // Mode (c): streaming — first frame of the coherence interval pays the
+  // preprocessing, the following frames reuse it.
+  api::FrameJob streaming = job;
+  api::FrameResult sr = pipe.detect_frame(streaming);  // interval start
+  streaming.reuse_preprocessing = true;
+  double stream_seconds = 0.0;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    const auto t0 = clock::now();
+    sr = pipe.detect_frame(streaming);
+    stream_seconds += std::chrono::duration<double>(clock::now() - t0).count();
+  }
+
+  for (std::size_t v = 0; v < ys.size(); ++v) {
+    if (fr.results[v].symbols != loop_results[v].symbols ||
+        sr.results[v].symbols != loop_results[v].symbols) {
+      out.identical = false;
+      break;
+    }
+  }
+  const double reps = static_cast<double>(repeats);
+  out.loop_vps = static_cast<double>(out.vectors) * reps / loop_seconds;
+  out.frame_vps = static_cast<double>(out.vectors) * reps / frame_seconds;
+  out.stream_vps = static_cast<double>(out.vectors) * reps / stream_seconds;
+  return out;
 }
 
 }  // namespace flexcore::bench

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "api/detector_registry.h"
+#include "api/uplink_pipeline.h"
+#include "bench_json.h"
 #include "bench_util.h"
 #include "channel/trace.h"
 #include "sim/montecarlo.h"
@@ -29,6 +31,7 @@ int main() {
   lcfg.info_bits_per_user = 1152;
 
   fb::banner("Fig. 10: throughput vs number of users (12-antenna AP, 64-QAM)");
+  fb::BenchJson json("fig10");
 
   // Calibrate at the fully-loaded 12-user point, as the paper does, then
   // hold the SNR fixed while the user count drops.
@@ -69,6 +72,38 @@ int main() {
                 r_ml.throughput_mbps, r_mmse.throughput_mbps,
                 r_flex.throughput_mbps, r_aflex.throughput_mbps,
                 r_aflex.avg_active_pes);
+    json.row()
+        .field("users", users)
+        .field("snr_db", snr)
+        .field("geosphere_mbps", r_ml.throughput_mbps)
+        .field("mmse_mbps", r_mmse.throughput_mbps)
+        .field("flexcore64_mbps", r_flex.throughput_mbps)
+        .field("aflexcore_mbps", r_aflex.throughput_mbps)
+        .field("aflexcore_avg_pes", r_aflex.avg_active_pes);
+  }
+
+  // Frame mode: a-FlexCore's whole-frame job vs the per-subcarrier loop at
+  // full load (12 users), the Fig. 10 operating point.
+  fb::banner("Frame mode (12 users): detect_frame vs per-subcarrier loop");
+  for (const char* spec : {"flexcore-64", "a-flexcore-64"}) {
+    fa::PipelineConfig pcfg;
+    pcfg.detector = spec;
+    pcfg.qam_order = 64;
+    fa::UplinkPipeline pipe(pcfg);
+    const auto r =
+        fb::compare_frame_vs_loop(pipe, 64, 14, 12, 12, nv, /*seed=*/6);
+    std::printf("%-14s loop %-11.0f frame %-11.0f stream %-11.0f vec/s  "
+                "speedup %.2fx%s\n",
+                spec, r.loop_vps, r.frame_vps, r.stream_vps,
+                r.stream_vps / r.loop_vps,
+                r.identical ? "" : "  !! MODES DISAGREE");
+    json.row()
+        .field("mode", "frame-vs-loop")
+        .field("detector", spec)
+        .field("loop_vps", r.loop_vps)
+        .field("frame_vps", r.frame_vps)
+        .field("stream_vps", r.stream_vps)
+        .field("identical", r.identical ? "yes" : "no");
   }
 
   std::printf("\nShape checks vs the paper:\n");

@@ -9,9 +9,12 @@
 // point for 64-QAM.  FLEXCORE_PACKETS controls Monte-Carlo depth.
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "api/detector_registry.h"
+#include "api/uplink_pipeline.h"
+#include "bench_json.h"
 #include "bench_util.h"
 #include "channel/trace.h"
 #include "detect/fcsd.h"
@@ -47,7 +50,8 @@ ch::TraceConfig trace_config(std::size_t n) {
   return cfg;
 }
 
-void run_panel(const Panel& p, std::size_t packets, bool full) {
+void run_panel(const Panel& p, std::size_t packets, bool full,
+               fb::BenchJson& json) {
   Constellation qam(p.qam);
   const fs::LinkConfig lcfg = link_config(p.qam);
   const ch::TraceConfig tcfg = trace_config(p.n);
@@ -73,6 +77,15 @@ void run_panel(const Panel& p, std::size_t packets, bool full) {
     const auto r = fs::measure_throughput(det, lcfg, tcfg, nv, packets, seed);
     std::printf("%-16s %-8zu %-18.1f %-10.3f %-12s\n", det.name().c_str(), pes,
                 r.throughput_mbps, r.avg_per, note);
+    json.row()
+        .field("panel", std::to_string(p.n) + "x" + std::to_string(p.n) + "-" +
+                            std::to_string(p.qam) + "qam")
+        .field("target_per", p.target_per)
+        .field("snr_db", snr)
+        .field("detector", det.name())
+        .field("pes", pes)
+        .field("throughput_mbps", r.throughput_mbps)
+        .field("avg_per", r.avg_per);
   };
 
   report(*ml, 1, "ML bound");
@@ -103,6 +116,40 @@ void run_panel(const Panel& p, std::size_t packets, bool full) {
   }
 }
 
+/// Frame mode: the same detection work submitted as one
+/// subcarrier x vector x path frame job vs the per-subcarrier loop.
+void run_frame_mode(fb::BenchJson& json) {
+  fb::banner("Frame mode: detect_frame vs per-subcarrier set_channel+detect");
+  std::printf("(stream = static-channel coherence interval: preprocessing "
+              "amortized across frames)\n");
+  std::printf("%-14s %-9s %-13s %-13s %-14s %-9s\n", "detector", "frame",
+              "loop (vec/s)", "frame (vec/s)", "stream (vec/s)", "speedup");
+  fb::rule();
+  const std::size_t nsc = 64, nsym = 14;
+  for (const char* spec : {"flexcore-64", "flexcore-128", "fcsd-L1"}) {
+    fa::PipelineConfig pcfg;
+    pcfg.detector = spec;
+    pcfg.qam_order = 64;
+    fa::UplinkPipeline pipe(pcfg);
+    const double nv = ch::noise_var_for_snr_db(18.0);
+    const auto r =
+        fb::compare_frame_vs_loop(pipe, nsc, nsym, 12, 12, nv, /*seed=*/5);
+    std::printf("%-14s %zux%-6zu %-13.0f %-13.0f %-14.0f %-9.2fx%s\n", spec,
+                nsc, nsym, r.loop_vps, r.frame_vps, r.stream_vps,
+                r.stream_vps / r.loop_vps,
+                r.identical ? "" : "  !! MODES DISAGREE");
+    json.row()
+        .field("mode", "frame-vs-loop")
+        .field("detector", spec)
+        .field("subcarriers", nsc)
+        .field("symbols", nsym)
+        .field("loop_vps", r.loop_vps)
+        .field("frame_vps", r.frame_vps)
+        .field("stream_vps", r.stream_vps)
+        .field("identical", r.identical ? "yes" : "no");
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -113,6 +160,7 @@ int main() {
   std::printf("(packets per point: %zu; set FLEXCORE_PACKETS to deepen, "
               "FLEXCORE_FULL=1 for all panels)\n", packets);
 
+  fb::BenchJson json("fig9");
   std::vector<Panel> panels{
       {8, 16, 0.1},
       {8, 16, 0.01},
@@ -125,7 +173,8 @@ int main() {
     panels.push_back({12, 16, 0.1});
     panels.push_back({12, 16, 0.01});
   }
-  for (const auto& p : panels) run_panel(p, packets, full);
+  for (const auto& p : panels) run_panel(p, packets, full, json);
+  run_frame_mode(json);
 
   std::printf("\nShape checks vs the paper:\n");
   std::printf("  * MMSE far below ML at Nt = Nr; trellis [50] between MMSE "

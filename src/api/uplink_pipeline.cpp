@@ -1,8 +1,32 @@
 #include "api/uplink_pipeline.h"
 
+#include <chrono>
 #include <stdexcept>
+#include <utility>
+
+#include "detect/fcsd.h"
 
 namespace flexcore::api {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+void fold_batch_into_frame(detect::BatchResult& batch, std::size_t offset,
+                           FrameResult* out) {
+  for (std::size_t t = 0; t < batch.results.size(); ++t) {
+    out->results[offset + t] = std::move(batch.results[t]);
+  }
+  out->stats += batch.stats;
+  out->sic_fallbacks += batch.sic_fallbacks;
+  out->tasks += batch.tasks;
+  out->detect_seconds += batch.elapsed_seconds;
+}
 
 UplinkPipeline::UplinkPipeline(const PipelineConfig& cfg)
     : cfg_(cfg),
@@ -44,6 +68,116 @@ detect::DetectionResult UplinkPipeline::detect_one(const linalg::CVec& y) {
   ++vectors_detected_;
   total_stats_ += res.stats;
   return res;
+}
+
+void UplinkPipeline::ensure_frame_detectors(std::size_t count) {
+  while (frame_dets_.size() < count) {
+    DetectorConfig dcfg = cfg_.tuning;
+    dcfg.constellation = &constellation_;
+    frame_dets_.push_back(make_detector(cfg_.detector, dcfg));
+    frame_dets_.back()->set_thread_pool(&pool_);
+  }
+}
+
+/// Fused grid for path-parallel detector families: returns false when the
+/// clones are not of type D (the caller tries the next family).
+template <typename D>
+bool UplinkPipeline::try_typed_frame(const FrameJob& job, FrameResult* out) {
+  // Clones are homogeneous (same registry spec), so one cast decides the
+  // whole family — non-matching pipelines pay a single failed cast here.
+  if (dynamic_cast<const D*>(frame_dets_.front().get()) == nullptr) {
+    return false;
+  }
+  const std::size_t nsc = job.channels.size();
+  const std::size_t nv = job.vectors_per_channel;
+  std::vector<const D*> typed(nsc);
+  std::vector<std::size_t> paths(nsc);
+  for (std::size_t f = 0; f < nsc; ++f) {
+    typed[f] = static_cast<const D*>(frame_dets_[f].get());
+    paths[f] = typed[f]->parallel_tasks();
+  }
+  const std::size_t nt = job.channels.front().cols();
+
+  detect::run_frame_grid<D>(std::span<const D* const>(typed), paths, job.ys,
+                            nv, nt, pool_, &frame_grid_);
+  out->tasks = frame_grid_.tasks;
+  out->detect_seconds = frame_grid_.elapsed_seconds;
+
+  // Winner reconstruction: one instrumented walk per vector, SIC fallback
+  // where every path was deactivated — same policy as detect_batch.
+  const std::size_t units = nsc * nv;
+  workspaces_.ensure(pool_.size());
+  frame_fell_.assign(units, 0);
+  pool_.parallel_for_worker(units, [&](std::size_t w, std::size_t u) {
+    frame_fell_[u] = typed[u / nv]->reconstruct_winner(
+        frame_grid_.ybar(u), frame_grid_.best_path[u],
+        frame_grid_.best_metric[u], workspaces_.at(w), &out->results[u]);
+  });
+  for (std::size_t u = 0; u < units; ++u) {
+    out->stats += out->results[u].stats;
+    out->sic_fallbacks += frame_fell_[u];
+  }
+  return true;
+}
+
+/// Fallback for detectors without span kernels: per-subcarrier batches
+/// (still behind the parallel preprocessing and the pool-routed
+/// detect_batch overrides where they exist).
+void UplinkPipeline::generic_frame(const FrameJob& job, FrameResult* out) {
+  const std::size_t nv = job.vectors_per_channel;
+  detect::BatchResult batch;
+  for (std::size_t f = 0; f < job.channels.size(); ++f) {
+    frame_dets_[f]->detect_batch(job.ys.subspan(f * nv, nv), &batch);
+    fold_batch_into_frame(batch, f * nv, out);
+  }
+}
+
+FrameResult UplinkPipeline::detect_frame(const FrameJob& job) {
+  const std::size_t nsc = job.channels.size();
+  const std::size_t nv = job.vectors_per_channel;
+  if (job.ys.size() != nsc * nv) {
+    throw std::invalid_argument(
+        "UplinkPipeline::detect_frame: ys.size() != channels.size() * "
+        "vectors_per_channel");
+  }
+  for (const linalg::CMat& h : job.channels) {
+    if (!h.same_shape(job.channels.front())) {
+      throw std::invalid_argument(
+          "UplinkPipeline::detect_frame: channels must share dimensions");
+    }
+  }
+
+  FrameResult out;
+  out.results.resize(job.ys.size());
+  if (nsc == 0) return out;
+
+  // Per-subcarrier preprocessing (QR + path selection), one task per
+  // subcarrier: independent detector clones, so no synchronization.
+  // Within a static-channel coherence interval the caller can assert the
+  // channels are unchanged and skip it entirely.
+  ensure_frame_detectors(nsc);
+  if (!(job.reuse_preprocessing && frame_ready_channels_ == nsc)) {
+    const auto t0 = std::chrono::steady_clock::now();
+    pool_.parallel_for(nsc, [&](std::size_t f) {
+      frame_dets_[f]->set_channel(job.channels[f], job.noise_var);
+    });
+    out.preprocess_seconds = seconds_since(t0);
+    out.channels_installed = nsc;
+    channel_installs_ += nsc;
+    frame_ready_channels_ = nsc;
+  }
+  for (std::size_t f = 0; f < nsc; ++f) {
+    out.sum_active_paths += static_cast<double>(frame_dets_[f]->parallel_tasks());
+  }
+
+  if (nv > 0 && !try_typed_frame<core::FlexCoreDetector>(job, &out) &&
+      !try_typed_frame<detect::FcsdDetector>(job, &out)) {
+    generic_frame(job, &out);
+  }
+
+  vectors_detected_ += job.ys.size();
+  total_stats_ += out.stats;
+  return out;
 }
 
 std::vector<core::SoftOutput> UplinkPipeline::detect_soft(

@@ -15,11 +15,24 @@
 //
 // The pipeline attaches its pool to the detector, so detect() routes
 // through the path-parallel detect_batch overrides where they exist and
-// the sequential loop otherwise.  This is the seam multi-channel sharding
-// and async submission plug into later.
+// the sequential loop otherwise.
+//
+// For whole OFDM frames the per-channel lifecycle is superseded by frame
+// jobs: detect_frame(FrameJob) preprocesses every subcarrier channel in
+// parallel and then runs ONE flat subcarrier x vector x path task grid
+// over the pool — the paper's §4 "all of a subframe's work at once" shape —
+// with per-worker scratch arenas so steady-state tasks allocate nothing:
+//
+//   api::FrameJob job;
+//   job.channels = trace.per_subcarrier;          // one CMat per subcarrier
+//   job.ys = ys;                                  // subcarrier-major vectors
+//   job.vectors_per_channel = n_ofdm_symbols;
+//   job.noise_var = nv;
+//   api::FrameResult fr = pipe.detect_frame(job); // one grid, whole frame
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -28,6 +41,8 @@
 #include "api/detector_registry.h"
 #include "core/flexcore_detector.h"
 #include "detect/detector.h"
+#include "detect/path_grid.h"
+#include "detect/workspace.h"
 #include "modulation/constellation.h"
 #include "parallel/thread_pool.h"
 
@@ -43,6 +58,53 @@ struct PipelineConfig {
   /// field is ignored — the pipeline owns the constellation.
   DetectorConfig tuning;
 };
+
+/// One frame's worth of detection work: every data subcarrier's channel
+/// plus all received vectors of the frame's OFDM symbols.
+///
+/// Lifetime contract: both spans are BORROWED — they must stay valid until
+/// detect_frame returns (nothing is retained afterwards).  `ys` is
+/// subcarrier-major: ys[f * vectors_per_channel + t] is OFDM symbol t of
+/// subcarrier f, and ys.size() must equal
+/// channels.size() * vectors_per_channel.  All channels must share the same
+/// dimensions.
+struct FrameJob {
+  std::span<const linalg::CMat> channels;
+  std::span<const linalg::CVec> ys;
+  std::size_t vectors_per_channel = 0;
+  double noise_var = 1.0;
+  /// When true, reuses the per-subcarrier preprocessing (QR + path
+  /// selection) installed by the PREVIOUS detect_frame call — the paper's
+  /// static-channel coherence interval, where consecutive frames share
+  /// channels.  The caller asserts `channels` is unchanged since that
+  /// call; only detection runs.  Ignored (full preprocessing) when the
+  /// previous frame had a different subcarrier count or none ran yet.
+  /// The per-subcarrier loop cannot amortize this: set_channel overwrites
+  /// the single-channel state on every subcarrier.
+  bool reuse_preprocessing = false;
+};
+
+/// Output of one UplinkPipeline::detect_frame call.  `results` follows the
+/// FrameJob::ys layout; per-vector symbols and metrics are bit-identical to
+/// the sequential set_channel + detect lifecycle over the same data.
+struct FrameResult {
+  std::vector<detect::DetectionResult> results;
+  detect::DetectionStats stats;        ///< sum of per-vector stats
+  std::size_t sic_fallbacks = 0;       ///< vectors rescued by plain SIC
+  std::size_t tasks = 0;               ///< sum over subcarriers of nv*paths
+  std::size_t channels_installed = 0;  ///< channels preprocessed this call
+                                       ///< (0 on a reuse_preprocessing hit)
+  double sum_active_paths = 0.0;       ///< sum of per-subcarrier path counts
+  double preprocess_seconds = 0.0;     ///< parallel QR + path selection
+  double detect_seconds = 0.0;         ///< the frame task grid
+};
+
+/// Folds one subcarrier's BatchResult into a FrameResult at vector offset
+/// `offset` (results are moved out of `batch`; counters and timing
+/// accumulate).  Shared by UplinkPipeline's generic frame fallback and the
+/// raw-detector frame emulation in sim::UplinkPacketLink.
+void fold_batch_into_frame(detect::BatchResult& batch, std::size_t offset,
+                           FrameResult* out);
 
 class UplinkPipeline {
  public:
@@ -60,6 +122,19 @@ class UplinkPipeline {
   /// Convenience single-vector path (same contract as Detector::detect).
   /// Counts toward the session lifecycle counters like detect().
   detect::DetectionResult detect_one(const linalg::CVec& y);
+
+  /// Frame-level detection: preprocesses every subcarrier channel in
+  /// parallel (QR + path selection, cached in per-subcarrier detector
+  /// clones that are reused across frames), then runs one flat
+  /// subcarrier x vector x path grid over the pool with per-worker
+  /// workspaces — zero heap allocations per steady-state path task.
+  /// Results are bit-identical to looping set_channel + detect over the
+  /// same data.  Independent of set_channel (the single-channel state is
+  /// untouched); counts channels/vectors toward the session counters.
+  /// Path-parallel detectors (flexcore / a-flexcore / fcsd families) run
+  /// the fused grid; other detectors fall back to per-subcarrier
+  /// detect_batch after the parallel preprocessing.
+  FrameResult detect_frame(const FrameJob& job);
 
   /// List-based max-log LLRs per vector (the soft-output extension).
   /// Only available when the configured detector supports soft output
@@ -85,6 +160,10 @@ class UplinkPipeline {
 
  private:
   void require_channel(const char* where) const;
+  void ensure_frame_detectors(std::size_t count);
+  template <typename D>
+  bool try_typed_frame(const FrameJob& job, FrameResult* out);
+  void generic_frame(const FrameJob& job, FrameResult* out);
 
   PipelineConfig cfg_;
   modulation::Constellation constellation_;
@@ -95,6 +174,15 @@ class UplinkPipeline {
   std::size_t channel_installs_ = 0;
   std::size_t vectors_detected_ = 0;
   detect::DetectionStats total_stats_;
+
+  // Frame-job state, reused across detect_frame calls: per-subcarrier
+  // detector clones (each caches its channel's QR + path selection), the
+  // flat grid buffers and the per-worker scratch arenas.
+  std::vector<std::unique_ptr<detect::Detector>> frame_dets_;
+  std::size_t frame_ready_channels_ = 0;  // clones with installed channels
+  detect::FrameGridOutput frame_grid_;
+  detect::WorkspaceBank workspaces_;
+  std::vector<std::uint8_t> frame_fell_;
 };
 
 }  // namespace flexcore::api

@@ -56,24 +56,41 @@ std::size_t FlexCoreDetector::active_paths() const { return active_paths_; }
 
 double FlexCoreDetector::active_pc_sum() const { return preproc_.pc_sum; }
 
+void FlexCoreDetector::rotate_into(const CVec& y,
+                                   std::span<cplx> out) const {
+  linalg::hermitian_mul_into(qr_.Q, y, out);
+}
+
 FlexCoreDetector::PathEval FlexCoreDetector::evaluate_path(
     const CVec& ybar, std::size_t path_index) const {
+  detect::Workspace ws;
+  PathEval ev;
+  ev.valid = evaluate_path(ybar, path_index, ws, &ev.metric, &ev.stats);
+  ev.symbols = ws.symbols;
+  return ev;
+}
+
+bool FlexCoreDetector::evaluate_path(std::span<const cplx> ybar,
+                                     std::size_t path_index,
+                                     detect::Workspace& ws, double* metric,
+                                     DetectionStats* stats) const {
   const CMat& r = qr_.R;
   const std::size_t nt = r.cols();
   const PositionVector& p = preproc_.paths[path_index].p;
 
-  PathEval ev;
-  ev.symbols.assign(nt, 0);
-  CVec s(nt);
+  ws.symbols.assign(nt, 0);
+  ws.s.assign(nt, cplx{0.0, 0.0});
+  *metric = 0.0;
+  *stats = DetectionStats{};
 
   for (std::size_t ii = 0; ii < nt; ++ii) {
     const std::size_t i = nt - 1 - ii;
     // Interference cancellation (Eq. 5 numerator).
     cplx b = ybar[i];
     for (std::size_t j = i + 1; j < nt; ++j) {
-      b -= r(i, j) * s[j];
-      ev.stats.real_mults += 4;
-      ev.stats.flops += 8;
+      b -= r(i, j) * ws.s[j];
+      stats->real_mults += 4;
+      stats->flops += 8;
     }
     // Effective received point and k-th closest symbol.
     const cplx eff = b * r_diag_inv_[i];
@@ -85,22 +102,21 @@ FlexCoreDetector::PathEval FlexCoreDetector::evaluate_path(
               ? constellation_->kth_nearest_exact(eff, p[i])
               : -1;
     }
-    if (x < 0) return ev;  // deactivated processing element
-    ev.symbols[i] = x;
-    s[i] = constellation_->point(x);
-    ev.metric += linalg::abs2(b - rx_[i][static_cast<std::size_t>(x)]);
+    if (x < 0) return false;  // deactivated processing element
+    ws.symbols[i] = x;
+    ws.s[i] = constellation_->point(x);
+    *metric += linalg::abs2(b - rx_[i][static_cast<std::size_t>(x)]);
     // Table 2 accounting: 4 real mults per cancelled term + 4 per level for
     // the PED constant multiply (the FPGA design folds the divide into a
     // multiply by R(l,l), so no extra cost is counted for `eff`).
-    ev.stats.real_mults += 4;
-    ev.stats.flops += 11;
-    ++ev.stats.nodes_visited;
+    stats->real_mults += 4;
+    stats->flops += 11;
+    ++stats->nodes_visited;
   }
-  ev.valid = true;
-  return ev;
+  return true;
 }
 
-double FlexCoreDetector::path_metric(const CVec& ybar,
+double FlexCoreDetector::path_metric(std::span<const cplx> ybar,
                                      std::size_t path_index) const {
   const CMat& r = qr_.R;
   const std::size_t nt = r.cols();
@@ -143,7 +159,8 @@ DetectionResult FlexCoreDetector::reduce(const CVec& ybar,
   if (!any) {
     // Every PE was deactivated (possible only for tiny path budgets at
     // extreme noise).
-    sic_fallback_into(ybar, &res);
+    detect::Workspace ws;
+    sic_fallback_into(ybar, ws, &res);
   }
   if (fell != nullptr) *fell = !any;
   res.stats.paths_evaluated = active_paths_;
@@ -151,22 +168,43 @@ DetectionResult FlexCoreDetector::reduce(const CVec& ybar,
   return res;
 }
 
-void FlexCoreDetector::sic_fallback_into(const CVec& ybar,
+void FlexCoreDetector::sic_fallback_into(std::span<const cplx> ybar,
+                                         detect::Workspace& ws,
                                          DetectionResult* res) const {
   const std::size_t nt = qr_.R.cols();
-  std::vector<int> sym(nt);
-  CVec s(nt);
+  ws.symbols.assign(nt, 0);
+  ws.s.assign(nt, cplx{0.0, 0.0});
   double metric = 0.0;
   for (std::size_t ii = 0; ii < nt; ++ii) {
     const std::size_t i = nt - 1 - ii;
     cplx b = ybar[i];
-    for (std::size_t j = i + 1; j < nt; ++j) b -= qr_.R(i, j) * s[j];
-    sym[i] = constellation_->slice(b * r_diag_inv_[i]);
-    s[i] = constellation_->point(sym[i]);
-    metric += linalg::abs2(b - rx_[i][static_cast<std::size_t>(sym[i])]);
+    for (std::size_t j = i + 1; j < nt; ++j) b -= qr_.R(i, j) * ws.s[j];
+    ws.symbols[i] = constellation_->slice(b * r_diag_inv_[i]);
+    ws.s[i] = constellation_->point(ws.symbols[i]);
+    metric +=
+        linalg::abs2(b - rx_[i][static_cast<std::size_t>(ws.symbols[i])]);
   }
-  res->symbols = std::move(sym);
+  res->symbols = ws.symbols;
   res->metric = metric;
+}
+
+bool FlexCoreDetector::reconstruct_winner(std::span<const cplx> ybar,
+                                          std::size_t best_path,
+                                          double best_metric,
+                                          detect::Workspace& ws,
+                                          DetectionResult* res) const {
+  bool fell = false;
+  if (std::isinf(best_metric)) {
+    res->stats = DetectionStats{};
+    sic_fallback_into(ybar, ws, res);
+    fell = true;
+  } else {
+    evaluate_path(ybar, best_path, ws, &res->metric, &res->stats);
+    res->symbols = ws.symbols;
+  }
+  res->stats.paths_evaluated = active_paths_;
+  res->symbols = linalg::unpermute(res->symbols, qr_.perm);
+  return fell;
 }
 
 void FlexCoreDetector::detect_batch(std::span<const CVec> ys,
@@ -207,19 +245,11 @@ void FlexCoreDetector::detect_batch(std::span<const CVec> ys,
   // whose every path was deactivated — the caller-level policy the raw task
   // grid historically punted on.
   std::vector<std::uint8_t> fell(nv, 0);
-  pool_->parallel_for(nv, [&](std::size_t v) {
-    DetectionResult& res = out->results[v];
-    if (std::isinf(grid.best_metric[v])) {
-      sic_fallback_into(grid.ybars[v], &res);
-      fell[v] = 1;
-    } else {
-      PathEval ev = evaluate_path(grid.ybars[v], grid.best_path[v]);
-      res.symbols = std::move(ev.symbols);
-      res.metric = ev.metric;
-      res.stats = ev.stats;
-    }
-    res.stats.paths_evaluated = active_paths_;
-    res.symbols = linalg::unpermute(res.symbols, qr_.perm);
+  workspaces_.ensure(pool_->size());
+  pool_->parallel_for_worker(nv, [&](std::size_t w, std::size_t v) {
+    fell[v] = reconstruct_winner(grid.ybars[v], grid.best_path[v],
+                                 grid.best_metric[v], workspaces_.at(w),
+                                 &out->results[v]);
   });
   for (std::size_t v = 0; v < nv; ++v) {
     out->stats += out->results[v].stats;

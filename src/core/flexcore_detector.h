@@ -11,15 +11,19 @@
 //
 // The per-path work (evaluate_path) is pure and thread-safe, so callers can
 // fan the paths out across any execution resource; detect() runs them
-// sequentially, and sim::ParallelDetectionEngine maps them onto a thread
-// pool the way the paper maps them onto GPU threads / FPGA engines.
+// sequentially, detect_batch fans the single-channel grid across a thread
+// pool, and api::UplinkPipeline::detect_frame runs whole OFDM frames as one
+// multi-channel grid the way the paper maps tasks onto GPU threads / FPGA
+// engines.
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "core/ordering_lut.h"
 #include "core/preprocessing.h"
 #include "detect/detector.h"
+#include "detect/workspace.h"
 #include "linalg/qr.h"
 
 namespace flexcore::core {
@@ -101,8 +105,16 @@ class FlexCoreDetector : public Detector {
   /// vectors, Pe values, multiplication counts).
   const PreprocessingResult& preprocessing() const { return preproc_; }
 
+  /// Writes ybar = Q^H y into `out` without allocating.  out.size() must be
+  /// Nt (= R.cols()).
+  void rotate_into(const CVec& y, std::span<linalg::cplx> out) const;
+
   /// Rotates y into tree-search coordinates (ybar = Q^H y).
-  CVec rotate(const CVec& y) const { return qr_.Q.hermitian() * y; }
+  CVec rotate(const CVec& y) const {
+    CVec out(qr_.R.cols());
+    rotate_into(y, out);
+    return out;
+  }
 
   /// Result of walking one path; `valid` is false when a LUT entry pointed
   /// outside the constellation and the policy deactivated the PE.
@@ -116,10 +128,28 @@ class FlexCoreDetector : public Detector {
   /// Walks path `path_index` (into preprocessing().paths); thread-safe.
   PathEval evaluate_path(const CVec& ybar, std::size_t path_index) const;
 
-  /// Metric-only path walk for the hot loop of the parallel engine: no
+  /// Buffer-reusing instrumented path walk: symbol decisions land in
+  /// ws.symbols (tree order), scratch in ws.s, and *stats is overwritten
+  /// with this walk's counters.  Returns false when the path was
+  /// deactivated (then ws.symbols/metric are partial, as in PathEval).
+  bool evaluate_path(std::span<const linalg::cplx> ybar,
+                     std::size_t path_index, detect::Workspace& ws,
+                     double* metric, DetectionStats* stats) const;
+
+  /// Metric-only path walk for the hot loop of the task grids: no
   /// allocation, no instrumentation.  Returns +infinity for deactivated
   /// paths.  Requires Nt <= 32.
-  double path_metric(const CVec& ybar, std::size_t path_index) const;
+  double path_metric(std::span<const linalg::cplx> ybar,
+                     std::size_t path_index) const;
+
+  /// Builds the final DetectionResult of one vector from a grid verdict
+  /// (run_path_grid / run_frame_grid): an instrumented walk of the winning
+  /// path, or the plain-SIC fallback when `best_metric` is +infinity (every
+  /// path deactivated).  Symbols come back in ORIGINAL antenna order.
+  /// Returns true when the fallback fired.  Scratch lives in `ws`.
+  bool reconstruct_winner(std::span<const linalg::cplx> ybar,
+                          std::size_t best_path, double best_metric,
+                          detect::Workspace& ws, DetectionResult* res) const;
 
   /// Hard detection + list-based max-log LLRs (soft extension).
   SoftOutput detect_soft(const CVec& y) const;
@@ -137,8 +167,10 @@ class FlexCoreDetector : public Detector {
 
   /// Fallback when every PE was deactivated: walks the [1,1,...,1] path
   /// with exact slicing (plain SIC), which is always valid.  Fills
-  /// `res->symbols` in tree (permuted) order and `res->metric`.
-  void sic_fallback_into(const CVec& ybar, DetectionResult* res) const;
+  /// `res->symbols` in tree (permuted) order and `res->metric`; scratch
+  /// lives in `ws`.
+  void sic_fallback_into(std::span<const linalg::cplx> ybar,
+                         detect::Workspace& ws, DetectionResult* res) const;
 
   const Constellation* constellation_;
   parallel::ThreadPool* pool_ = nullptr;
@@ -150,6 +182,10 @@ class FlexCoreDetector : public Detector {
   double noise_var_ = 1.0;
   CVec r_diag_inv_;        // 1 / R(i,i)
   std::vector<CVec> rx_;   // rx_[i][x] = R(i,i) * point(x)
+  // Per-worker reconstruction scratch, kept across detect_batch calls so
+  // repeated per-subcarrier batches stay at their high-water mark.  Guarded
+  // by the detect_batch contract (one driver thread at a time).
+  mutable detect::WorkspaceBank workspaces_;
 };
 
 }  // namespace flexcore::core

@@ -69,8 +69,8 @@ struct DetectionResult {
 ///    `paths_evaluated` always reflects the full grid.
 ///  * `sic_fallbacks` counts vectors for which every path was deactivated
 ///    (FlexCore's out-of-constellation policy) and the detector fell back
-///    to plain SIC slicing — the policy sim::batch_detect used to punt to
-///    callers now lives inside detect_batch.
+///    to plain SIC slicing — the raw task grid punts this policy to
+///    detect_batch.
 ///  * `tasks` is the units of parallel work (vectors * paths for grid
 ///    detectors, plain vector count for the sequential default).
 ///  * `elapsed_seconds` is the wall-clock of the detection kernel (for grid

@@ -33,21 +33,37 @@ std::size_t FcsdDetector::num_paths() const {
   return n;
 }
 
+void FcsdDetector::rotate_into(const CVec& y, std::span<cplx> out) const {
+  linalg::hermitian_mul_into(qr_.Q, y, out);
+}
+
 FcsdDetector::PathEval FcsdDetector::evaluate_path(const CVec& ybar,
                                                    std::size_t path_index) const {
+  detect::Workspace ws;
+  PathEval ev;
+  evaluate_path(ybar, path_index, ws, &ev.metric, &ev.stats);
+  ev.symbols = ws.symbols;
+  return ev;
+}
+
+void FcsdDetector::evaluate_path(std::span<const cplx> ybar,
+                                 std::size_t path_index,
+                                 detect::Workspace& ws, double* metric,
+                                 DetectionStats* stats) const {
   const CMat& r = qr_.R;
   const std::size_t nt = r.cols();
   const std::size_t q = static_cast<std::size_t>(constellation_->order());
 
-  PathEval ev;
-  ev.symbols.assign(nt, 0);
-  CVec s(nt);
+  ws.symbols.assign(nt, 0);
+  ws.s.assign(nt, cplx{0.0, 0.0});
+  *metric = 0.0;
+  *stats = DetectionStats{};
 
   // Decode the fully-expanded level symbols from the path index: digit 0
   // drives the topmost level (detected first).
   std::size_t v = path_index;
   for (std::size_t d = 0; d < full_levels_; ++d) {
-    ev.symbols[nt - 1 - d] = static_cast<int>(v % q);
+    ws.symbols[nt - 1 - d] = static_cast<int>(v % q);
     v /= q;
   }
 
@@ -55,30 +71,40 @@ FcsdDetector::PathEval FcsdDetector::evaluate_path(const CVec& ybar,
     const std::size_t i = nt - 1 - ii;
     cplx b = ybar[i];
     for (std::size_t j = i + 1; j < nt; ++j) {
-      b -= r(i, j) * s[j];
-      ev.stats.real_mults += 4;
-      ev.stats.flops += 8;
+      b -= r(i, j) * ws.s[j];
+      stats->real_mults += 4;
+      stats->flops += 8;
     }
     int x;
     if (ii < full_levels_) {
-      x = ev.symbols[i];  // enumerated level
+      x = ws.symbols[i];  // enumerated level
     } else {
       // Greedy single-child extension: nearest constellation point.
       x = constellation_->slice(b / r(i, i));
-      ev.stats.real_mults += 4;  // complex-by-real-reciprocal divide
-      ev.stats.flops += 8;
+      stats->real_mults += 4;  // complex-by-real-reciprocal divide
+      stats->flops += 8;
     }
-    ev.symbols[i] = x;
-    s[i] = constellation_->point(x);
-    ev.metric += linalg::abs2(b - rx_[i][static_cast<std::size_t>(x)]);
-    ev.stats.real_mults += 2;
-    ev.stats.flops += 5;
-    ++ev.stats.nodes_visited;
+    ws.symbols[i] = x;
+    ws.s[i] = constellation_->point(x);
+    *metric += linalg::abs2(b - rx_[i][static_cast<std::size_t>(x)]);
+    stats->real_mults += 2;
+    stats->flops += 5;
+    ++stats->nodes_visited;
   }
-  return ev;
 }
 
-double FcsdDetector::path_metric(const CVec& ybar,
+bool FcsdDetector::reconstruct_winner(std::span<const cplx> ybar,
+                                      std::size_t best_path,
+                                      double /*best_metric*/,
+                                      detect::Workspace& ws,
+                                      DetectionResult* res) const {
+  evaluate_path(ybar, best_path, ws, &res->metric, &res->stats);
+  res->symbols = linalg::unpermute(ws.symbols, qr_.perm);
+  res->stats.paths_evaluated = num_paths();
+  return false;
+}
+
+double FcsdDetector::path_metric(std::span<const cplx> ybar,
                                  std::size_t path_index) const {
   const CMat& r = qr_.R;
   const std::size_t nt = r.cols();
@@ -144,13 +170,10 @@ void FcsdDetector::detect_batch(std::span<const CVec> ys,
 
   // Winner reconstruction: one instrumented path walk per vector (the grid
   // itself runs the metric-only kernel).
-  pool_->parallel_for(nv, [&](std::size_t v) {
-    PathEval ev = evaluate_path(grid.ybars[v], grid.best_path[v]);
-    DetectionResult& res = out->results[v];
-    res.symbols = linalg::unpermute(ev.symbols, qr_.perm);
-    res.metric = ev.metric;
-    res.stats = ev.stats;
-    res.stats.paths_evaluated = paths;
+  workspaces_.ensure(pool_->size());
+  pool_->parallel_for_worker(nv, [&](std::size_t w, std::size_t v) {
+    reconstruct_winner(grid.ybars[v], grid.best_path[v], grid.best_metric[v],
+                       workspaces_.at(w), &out->results[v]);
   });
   for (const DetectionResult& res : out->results) out->stats += res.stats;
 }

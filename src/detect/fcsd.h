@@ -8,7 +8,10 @@
 // |Q|^L processing elements: the inflexibility FlexCore removes (§2).
 #pragma once
 
+#include <span>
+
 #include "detect/detector.h"
+#include "detect/workspace.h"
 #include "linalg/qr.h"
 
 namespace flexcore::detect {
@@ -41,8 +44,16 @@ class FcsdDetector : public Detector {
   std::size_t num_paths() const;
   std::size_t full_levels() const noexcept { return full_levels_; }
 
+  /// Writes ybar = Q^H y into `out` without allocating.  out.size() must be
+  /// Nt (= R.cols()).
+  void rotate_into(const CVec& y, std::span<linalg::cplx> out) const;
+
   /// Rotates a received vector into the tree-search domain (ybar = Q^H y).
-  CVec rotate(const CVec& y) const { return qr_.Q.hermitian() * y; }
+  CVec rotate(const CVec& y) const {
+    CVec out(qr_.R.cols());
+    rotate_into(y, out);
+    return out;
+  }
 
   /// Evaluation of a single FCSD path, the unit of parallel work.
   struct PathEval {
@@ -56,9 +67,24 @@ class FcsdDetector : public Detector {
   /// safe; used directly by the parallel engine benchmarks.
   PathEval evaluate_path(const CVec& ybar, std::size_t path_index) const;
 
+  /// Buffer-reusing instrumented path walk: symbol decisions land in
+  /// ws.symbols (tree order), scratch in ws.s, counters overwrite *stats.
+  /// Every FCSD path is valid, so there is no failure mode.
+  void evaluate_path(std::span<const linalg::cplx> ybar,
+                     std::size_t path_index, detect::Workspace& ws,
+                     double* metric, DetectionStats* stats) const;
+
   /// Metric-only path walk (no allocation / instrumentation) for the
-  /// parallel engine's hot loop.  Requires Nt <= 32.
-  double path_metric(const CVec& ybar, std::size_t path_index) const;
+  /// task grids' hot loop.  Requires Nt <= 32.
+  double path_metric(std::span<const linalg::cplx> ybar,
+                     std::size_t path_index) const;
+
+  /// Builds the final DetectionResult of one vector from a grid verdict:
+  /// an instrumented walk of the winning path, symbols in ORIGINAL antenna
+  /// order.  Always returns false (FCSD has no fallback).  Scratch in `ws`.
+  bool reconstruct_winner(std::span<const linalg::cplx> ybar,
+                          std::size_t best_path, double best_metric,
+                          detect::Workspace& ws, DetectionResult* res) const;
 
   const linalg::QrResult& qr() const noexcept { return qr_; }
 
@@ -68,6 +94,10 @@ class FcsdDetector : public Detector {
   parallel::ThreadPool* pool_ = nullptr;
   linalg::QrResult qr_;
   std::vector<CVec> rx_;  // rx_[i][x] = R(i,i) * point(x)
+  // Per-worker reconstruction scratch, kept across detect_batch calls so
+  // repeated per-subcarrier batches stay at their high-water mark.  Guarded
+  // by the detect_batch contract (one driver thread at a time).
+  mutable detect::WorkspaceBank workspaces_;
 };
 
 }  // namespace flexcore::detect

@@ -1,6 +1,7 @@
 #include "detect/kbest.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace flexcore::detect {
 
@@ -16,61 +17,105 @@ void KBestDetector::set_channel(const CMat& h, double /*noise_var*/) {
   }
 }
 
-DetectionResult KBestDetector::detect(const CVec& y) const {
+void KBestDetector::detect_into(const CVec& y, Workspace& ws,
+                                DetectionResult* res) const {
   const CMat& r = qr_.R;
   const std::size_t nt = r.cols();
   const std::size_t q = static_cast<std::size_t>(constellation_->order());
-  const CVec ybar = qr_.Q.hermitian() * y;
+  ws.ybar.resize(nt);
+  linalg::hermitian_mul_into(qr_.Q, y, ws.ybar);
 
-  struct Partial {
-    double ped;
-    std::vector<int> path;  // symbols for levels [i, nt)
-  };
-
+  // Survivor paths are stored flat with stride nt: entry s holds the
+  // symbols of the levels processed so far, path[s * nt + d] being the
+  // decision of the d-th processed level (tree level nt-1-d).  Peds in
+  // ws.d0; candidate peds in ws.d1; the double-buffered paths live in
+  // ws.i0/ws.i1, swapped per level.
   DetectionStats stats;
-  std::vector<Partial> survivors{{0.0, {}}};
+  std::size_t survivors = 1;
+  ws.d0.assign(1, 0.0);
+  ws.i0.resize(k_ * nt);
+  ws.i1.resize(k_ * nt);
 
   for (std::size_t ii = 0; ii < nt; ++ii) {
     const std::size_t i = nt - 1 - ii;
-    std::vector<Partial> candidates;
-    candidates.reserve(survivors.size() * q);
-    for (const Partial& sv : survivors) {
-      cplx b = ybar[i];
+    const std::size_t cands = survivors * q;
+    ws.d1.resize(cands);
+    for (std::size_t s = 0; s < survivors; ++s) {
+      cplx b = ws.ybar[i];
+      const int* path = ws.i0.data() + s * nt;
       for (std::size_t j = i + 1; j < nt; ++j) {
-        b -= r(i, j) * constellation_->point(sv.path[nt - 1 - j]);
+        b -= r(i, j) * constellation_->point(path[nt - 1 - j]);
         stats.real_mults += 4;
         stats.flops += 8;
       }
       for (std::size_t x = 0; x < q; ++x) {
-        const double ped = sv.ped + linalg::abs2(b - rx_[i][x]);
-        candidates.push_back({ped, sv.path});
-        candidates.back().path.push_back(static_cast<int>(x));
+        ws.d1[s * q + x] = ws.d0[s] + linalg::abs2(b - rx_[i][x]);
       }
       stats.real_mults += 2 * q;
       stats.flops += 5 * q;
       ++stats.nodes_visited;
     }
-    const std::size_t keep = std::min(k_, candidates.size());
-    std::partial_sort(candidates.begin(),
-                      candidates.begin() + static_cast<std::ptrdiff_t>(keep),
-                      candidates.end(),
-                      [](const Partial& a, const Partial& b) { return a.ped < b.ped; });
-    candidates.resize(keep);
-    survivors = std::move(candidates);
+    // Keep the K lowest-PED candidates; ties break on candidate index so
+    // the selection is deterministic.
+    const std::size_t keep = std::min(k_, cands);
+    ws.idx.resize(cands);
+    for (std::size_t c = 0; c < cands; ++c) ws.idx[c] = c;
+    std::partial_sort(ws.idx.begin(),
+                      ws.idx.begin() + static_cast<std::ptrdiff_t>(keep),
+                      ws.idx.end(), [&](std::size_t a, std::size_t b) {
+                        return ws.d1[a] != ws.d1[b] ? ws.d1[a] < ws.d1[b]
+                                                    : a < b;
+                      });
+    ws.d0.resize(keep);  // old peds are already folded into ws.d1
+    for (std::size_t t = 0; t < keep; ++t) {
+      const std::size_t c = ws.idx[t];
+      const std::size_t s = c / q;
+      int* dst = ws.i1.data() + t * nt;
+      const int* src = ws.i0.data() + s * nt;
+      for (std::size_t d = 0; d < ii; ++d) dst[d] = src[d];
+      dst[ii] = static_cast<int>(c % q);
+      ws.d0[t] = ws.d1[c];
+    }
+    std::swap(ws.i0, ws.i1);
+    survivors = keep;
   }
 
-  const Partial& best = survivors.front();
-  std::vector<int> detected(nt);
+  // Survivor 0 has the minimum PED (the selection sorts ascending).
+  const int* best = ws.i0.data();
+  ws.symbols.resize(nt);
   for (std::size_t ii = 0; ii < nt; ++ii) {
-    detected[nt - 1 - ii] = best.path[ii];  // path was built top level first
+    ws.symbols[nt - 1 - ii] = best[ii];  // path was built top level first
   }
 
+  res->symbols = linalg::unpermute(ws.symbols, qr_.perm);
+  res->metric = ws.d0[0];
+  res->stats = stats;
+  res->stats.paths_evaluated = k_;
+}
+
+DetectionResult KBestDetector::detect(const CVec& y) const {
+  Workspace ws;
   DetectionResult res;
-  res.symbols = linalg::unpermute(detected, qr_.perm);
-  res.metric = best.ped;
-  res.stats = stats;
-  res.stats.paths_evaluated = k_;
+  detect_into(y, ws, &res);
   return res;
+}
+
+void KBestDetector::detect_batch(std::span<const CVec> ys,
+                                 BatchResult* out) const {
+  out->results.resize(ys.size());
+  out->stats = DetectionStats{};
+  out->sic_fallbacks = 0;
+  out->tasks = ys.size();
+
+  Workspace ws;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t v = 0; v < ys.size(); ++v) {
+    detect_into(ys[v], ws, &out->results[v]);
+    out->stats += out->results[v].stats;
+  }
+  out->elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
 }
 
 }  // namespace flexcore::detect

@@ -1,12 +1,15 @@
-// The flat (vector x path) task grid at the heart of FlexCore's parallel
-// detection (paper §4): the GPU implementation generates Nsc * |E| threads
-// (FlexCore) or Nsc * |Q|^L threads (FCSD); here the same grid is executed
-// by a ThreadPool.
+// The flat task grids at the heart of FlexCore's parallel detection (paper
+// §4): the GPU implementation generates Nsc * |E| threads (FlexCore) or
+// Nsc * |Q|^L threads (FCSD); here the same grids are executed by a
+// ThreadPool.
 //
-// This header is the reusable kernel behind Detector::detect_batch — the
-// FlexCore and FCSD overrides route through run_path_grid, and the Fig. 11
-// benchmark times exactly this grid for both detectors.  (It previously
-// lived in sim/engine.h; sim::batch_detect remains as a deprecated shim.)
+// Two granularities are provided:
+//  * run_path_grid  — the single-channel (vector x path) grid behind
+//    Detector::detect_batch; the Fig. 11 benchmark times exactly this grid.
+//  * run_frame_grid — the multi-channel (subcarrier x vector x path) grid
+//    behind api::UplinkPipeline::detect_frame: one flat job covering every
+//    subcarrier of an OFDM frame, with all rotated vectors living in one
+//    reusable flat buffer so steady-state tasks allocate nothing.
 #pragma once
 
 #include <chrono>
@@ -29,7 +32,18 @@ concept PathParallelDetector = requires(const D& d, const linalg::CVec& y,
   { d.rotate(y) } -> std::convertible_to<linalg::CVec>;
 };
 
-/// Output of one task-grid run.
+/// A path-parallel detector with allocation-free span kernels, as required
+/// by the multi-channel frame grid.
+template <typename D>
+concept FrameParallelDetector = requires(const D& d, const linalg::CVec& y,
+                                         std::span<linalg::cplx> out,
+                                         std::span<const linalg::cplx> ybar,
+                                         std::size_t i) {
+  d.rotate_into(y, out);
+  { d.path_metric(ybar, i) } -> std::convertible_to<double>;
+};
+
+/// Output of one single-channel task-grid run.
 ///
 /// A best_metric of +infinity means every path of that vector was
 /// deactivated (FlexCore's out-of-constellation policy).  The grid itself
@@ -86,6 +100,76 @@ PathGridOutput run_path_grid(const D& det, std::size_t num_paths,
   out.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return out;
+}
+
+/// Output of one multi-channel frame-grid run.  "Unit" u = f * nv + t is
+/// the (subcarrier f, vector t) pair, subcarrier-major — the same layout as
+/// the input vectors.  Buffers are resized, never shrunk, so reusing the
+/// same FrameGridOutput across frames of equal (or smaller) shape performs
+/// no allocation at all.
+struct FrameGridOutput {
+  std::vector<linalg::cplx> ybars;     ///< flat rotated inputs, nt per unit
+  std::vector<std::size_t> best_path;  ///< winning path index per unit
+  std::vector<double> best_metric;     ///< its distance (+inf: all paths dead)
+  std::size_t nt = 0;                  ///< levels per rotated vector
+  std::size_t tasks = 0;               ///< sum over subcarriers of nv * paths
+  double elapsed_seconds = 0.0;        ///< wall-clock of the task grid
+
+  std::span<const linalg::cplx> ybar(std::size_t unit) const {
+    return {ybars.data() + unit * nt, nt};
+  }
+};
+
+/// Runs the subcarrier x vector x path grid of one frame: `dets[f]` is the
+/// per-subcarrier detector (channel already installed) evaluating
+/// `num_paths[f]` paths for each of the `vectors_per_channel` vectors
+/// `ys[f * vectors_per_channel + ...]`.  Each task rotates its vector into
+/// the flat ybar buffer and scans its paths with the metric-only span
+/// kernel, tracking the minimum inline (strict <, first index wins — the
+/// same tie-break as the sequential reduction, so results are bit-identical
+/// at any thread count).  Steady-state tasks perform zero heap allocations.
+template <FrameParallelDetector D>
+void run_frame_grid(std::span<const D* const> dets,
+                    std::span<const std::size_t> num_paths,
+                    std::span<const linalg::CVec> ys,
+                    std::size_t vectors_per_channel, std::size_t nt,
+                    parallel::ThreadPool& pool, FrameGridOutput* out) {
+  const std::size_t nsc = dets.size();
+  const std::size_t units = nsc * vectors_per_channel;
+  out->nt = nt;
+  out->tasks = 0;
+  for (std::size_t f = 0; f < nsc; ++f) {
+    out->tasks += vectors_per_channel * num_paths[f];
+  }
+  out->ybars.resize(units * nt);
+  out->best_path.assign(units, 0);
+  out->best_metric.assign(units, std::numeric_limits<double>::infinity());
+  if (units == 0) {
+    out->elapsed_seconds = 0.0;
+    return;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  pool.parallel_for(units, [&](std::size_t u) {
+    const std::size_t f = u / vectors_per_channel;
+    const D& det = *dets[f];
+    const std::span<linalg::cplx> ybar{out->ybars.data() + u * nt, nt};
+    det.rotate_into(ys[u], ybar);
+    const std::size_t paths = num_paths[f];
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_p = 0;
+    for (std::size_t p = 0; p < paths; ++p) {
+      const double m = det.path_metric(std::span<const linalg::cplx>(ybar), p);
+      if (m < best) {
+        best = m;
+        best_p = p;
+      }
+    }
+    out->best_path[u] = best_p;
+    out->best_metric[u] = best;
+  });
+  out->elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
 }  // namespace flexcore::detect

@@ -1,44 +1,76 @@
 #include "detect/sic.h"
 
+#include <cassert>
+#include <chrono>
+
 namespace flexcore::detect {
 
 void SicDetector::set_channel(const CMat& h, double /*noise_var*/) {
   qr_ = linalg::sorted_qr_wubben(h);
 }
 
-DetectionResult SicDetector::detect(const CVec& y) const {
+void SicDetector::rotate_into(const CVec& y, std::span<cplx> out) const {
+  linalg::hermitian_mul_into(qr_.Q, y, out);
+}
+
+void SicDetector::detect_into(const CVec& y, Workspace& ws,
+                              DetectionResult* res) const {
   const CMat& r = qr_.R;
   const std::size_t nt = r.cols();
-  const CVec ybar = qr_.Q.hermitian() * y;
+  ws.ybar.resize(nt);
+  rotate_into(y, ws.ybar);
+  ws.symbols.assign(nt, 0);
+  ws.s.assign(nt, cplx{0.0, 0.0});
 
-  std::vector<int> detected(nt);
-  CVec s(nt);
   double metric = 0.0;
   DetectionStats stats;
   stats.paths_evaluated = 1;
 
   for (std::size_t ii = 0; ii < nt; ++ii) {
     const std::size_t i = nt - 1 - ii;  // level i+1, detected top-down
-    cplx b = ybar[i];
+    cplx b = ws.ybar[i];
     for (std::size_t j = i + 1; j < nt; ++j) {
-      b -= r(i, j) * s[j];
+      b -= r(i, j) * ws.s[j];
       stats.real_mults += 4;
       stats.flops += 8;
     }
     const cplx eff = b / r(i, i);
-    detected[i] = constellation_->slice(eff);
-    s[i] = constellation_->point(detected[i]);
-    metric += linalg::abs2(b - r(i, i) * s[i]);
+    ws.symbols[i] = constellation_->slice(eff);
+    ws.s[i] = constellation_->point(ws.symbols[i]);
+    metric += linalg::abs2(b - r(i, i) * ws.s[i]);
     stats.real_mults += 4;
     stats.flops += 11;  // complex mult + sub + abs2
     ++stats.nodes_visited;
   }
 
+  res->symbols = linalg::unpermute(ws.symbols, qr_.perm);
+  res->metric = metric;
+  res->stats = stats;
+}
+
+DetectionResult SicDetector::detect(const CVec& y) const {
+  Workspace ws;
   DetectionResult res;
-  res.symbols = linalg::unpermute(detected, qr_.perm);
-  res.metric = metric;
-  res.stats = stats;
+  detect_into(y, ws, &res);
   return res;
+}
+
+void SicDetector::detect_batch(std::span<const CVec> ys,
+                               BatchResult* out) const {
+  out->results.resize(ys.size());
+  out->stats = DetectionStats{};
+  out->sic_fallbacks = 0;
+  out->tasks = ys.size();
+
+  Workspace ws;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t v = 0; v < ys.size(); ++v) {
+    detect_into(ys[v], ws, &out->results[v]);
+    out->stats += out->results[v].stats;
+  }
+  out->elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
 }
 
 }  // namespace flexcore::detect

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <cassert>
+#include <complex>
 #include <cstddef>
 #include <initializer_list>
+#include <span>
 #include <string>
 
 #include "linalg/types.h"
@@ -90,5 +92,22 @@ class CMat {
   std::size_t cols_ = 0;
   CVec data_;
 };
+
+/// out = m^H v without materializing the Hermitian transpose or any
+/// temporary (out.size() must equal m.cols()).  This is the rotation
+/// kernel (ybar = Q^H y) of the zero-allocation detection grids.
+inline void hermitian_mul_into(const CMat& m, const CVec& v,
+                               std::span<cplx> out) {
+  const std::size_t rows = m.rows();
+  const std::size_t cols = m.cols();
+  assert(out.size() == cols && v.size() == rows);
+  for (std::size_t i = 0; i < cols; ++i) out[i] = cplx{0.0, 0.0};
+  const cplx* data = m.data();
+  for (std::size_t j = 0; j < rows; ++j) {
+    const cplx vj = v[j];
+    const cplx* row = data + j * cols;
+    for (std::size_t i = 0; i < cols; ++i) out[i] += std::conj(row[i]) * vj;
+  }
+}
 
 }  // namespace flexcore::linalg

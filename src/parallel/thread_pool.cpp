@@ -11,8 +11,8 @@ std::size_t default_thread_count() {
 ThreadPool::ThreadPool(std::size_t num_threads)
     : num_threads_(std::max<std::size_t>(1, num_threads)) {
   workers_.reserve(num_threads_ - 1);
-  for (std::size_t i = 0; i + 1 < num_threads_; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  for (std::size_t i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -25,31 +25,33 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::run_chunks() {
+void ThreadPool::run_chunks(std::size_t worker) {
   // Caller-side variant: the job fields are owned by this thread.
   for (;;) {
     const std::size_t begin = next_.fetch_add(chunk_, std::memory_order_relaxed);
     if (begin >= n_) break;
     const std::size_t end = std::min(begin + chunk_, n_);
-    for (std::size_t i = begin; i < end; ++i) (*fn_)(i);
+    job_(ctx_, worker, begin, end);
     completed_.fetch_add(end - begin, std::memory_order_acq_rel);
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker) {
   std::uint64_t seen = 0;
   for (;;) {
-    // Snapshot the job under the mutex: parallel_for writes job fields
-    // under the same mutex and never reuses them until active_ drains, so
-    // the snapshot is always coherent.
-    const std::function<void(std::size_t)>* fn;
+    // Snapshot the job under the mutex: run_job writes job fields under the
+    // same mutex and never reuses them until active_ drains, so the
+    // snapshot is always coherent.
+    RawJob job;
+    void* ctx;
     std::size_t n, chunk;
     {
       std::unique_lock lock(mu_);
       start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
       if (shutdown_) return;
       seen = generation_;
-      fn = fn_;
+      job = job_;
+      ctx = ctx_;
       n = n_;
       chunk = chunk_;
       active_.fetch_add(1, std::memory_order_acq_rel);
@@ -59,7 +61,7 @@ void ThreadPool::worker_loop() {
       const std::size_t begin = next_.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) break;
       const std::size_t end = std::min(begin + chunk, n);
-      for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+      job(ctx, worker, begin, end);
       completed_.fetch_add(end - begin, std::memory_order_acq_rel);
     }
 
@@ -70,16 +72,15 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn,
-                              std::size_t chunk) {
+void ThreadPool::run_job(RawJob job, void* ctx, std::size_t n,
+                         std::size_t chunk) {
   if (n == 0) return;
   if (chunk == 0) {
     // Aim for ~8 chunks per thread to balance load vs scheduling overhead.
     chunk = std::max<std::size_t>(1, n / (num_threads_ * 8));
   }
   if (num_threads_ == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    job(ctx, 0, 0, n);
     return;
   }
   // Drain stragglers from the previous job before mutating job state (a
@@ -89,7 +90,8 @@ void ThreadPool::parallel_for(std::size_t n,
   }
   {
     std::lock_guard lock(mu_);
-    fn_ = &fn;
+    job_ = job;
+    ctx_ = ctx;
     n_ = n;
     chunk_ = chunk;
     next_.store(0, std::memory_order_relaxed);
@@ -97,12 +99,13 @@ void ThreadPool::parallel_for(std::size_t n,
     ++generation_;
   }
   start_cv_.notify_all();
-  run_chunks();  // caller participates
+  run_chunks(/*worker=*/0);  // caller participates
   std::unique_lock lock(mu_);
   done_cv_.wait(lock, [&] {
     return completed_.load(std::memory_order_acquire) >= n_;
   });
-  fn_ = nullptr;
+  job_ = nullptr;
+  ctx_ = nullptr;
 }
 
 }  // namespace flexcore::parallel

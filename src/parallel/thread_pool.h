@@ -9,15 +9,18 @@
 // The pool intentionally supports only the fork-join `parallel_for` pattern
 // (no futures, no nesting): that is the paper's computation shape, and the
 // simple shape keeps the scheduler overhead negligible next to the
-// Euclidean-distance math.
+// Euclidean-distance math.  Dispatch is a raw function pointer + context
+// invoked once per CHUNK of iterations — no std::function is constructed or
+// copied anywhere on the hot path, so even tiny per-index bodies stay cheap.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace flexcore::parallel {
@@ -39,15 +42,64 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return num_threads_; }
 
-  /// Runs fn(i) for every i in [0, n), distributing work dynamically in
-  /// chunks; blocks until all iterations finish.  Must not be called
-  /// re-entrantly from inside fn.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                    std::size_t chunk = 0);
+  /// Raw job shape: process iterations [begin, end) on behalf of `worker`.
+  /// `worker` is a stable index in [0, size()); the calling thread always
+  /// participates as worker 0, spawned threads are 1..size()-1.
+  using RawJob = void (*)(void* ctx, std::size_t worker, std::size_t begin,
+                          std::size_t end);
+
+  /// Core dispatch: chunks [0, n) dynamically across the workers and blocks
+  /// until every iteration finished.  One indirect call per chunk.  Must not
+  /// be called re-entrantly from inside a job.  A chunk of 0 picks a
+  /// heuristic (~8 chunks per worker); with one thread the whole range is
+  /// delivered as a single chunk to worker 0.
+  void run_job(RawJob job, void* ctx, std::size_t n, std::size_t chunk);
+
+  /// Runs fn(i) for every i in [0, n); blocks until all iterations finish.
+  template <typename F>
+  void parallel_for(std::size_t n, F&& fn, std::size_t chunk = 0) {
+    using Fn = std::remove_reference_t<F>;
+    run_job(
+        [](void* ctx, std::size_t, std::size_t begin, std::size_t end) {
+          Fn& f = *static_cast<Fn*>(ctx);
+          for (std::size_t i = begin; i < end; ++i) f(i);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))), n,
+        chunk);
+  }
+
+  /// Runs fn(worker, i) for every i in [0, n).  The worker index lets tasks
+  /// address per-worker scratch (e.g. detect::WorkspaceBank) without
+  /// synchronization: no two concurrent iterations share a worker index.
+  template <typename F>
+  void parallel_for_worker(std::size_t n, F&& fn, std::size_t chunk = 0) {
+    using Fn = std::remove_reference_t<F>;
+    run_job(
+        [](void* ctx, std::size_t worker, std::size_t begin, std::size_t end) {
+          Fn& f = *static_cast<Fn*>(ctx);
+          for (std::size_t i = begin; i < end; ++i) f(worker, i);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))), n,
+        chunk);
+  }
+
+  /// Runs fn(worker, begin, end) once per chunk — the cheapest shape for
+  /// tiny per-index bodies (one call amortized over the whole chunk).
+  /// Chunks may be coalesced (a single-thread pool delivers one chunk).
+  template <typename F>
+  void parallel_for_chunks(std::size_t n, F&& fn, std::size_t chunk = 0) {
+    using Fn = std::remove_reference_t<F>;
+    run_job(
+        [](void* ctx, std::size_t worker, std::size_t begin, std::size_t end) {
+          (*static_cast<Fn*>(ctx))(worker, begin, end);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))), n,
+        chunk);
+  }
 
  private:
-  void worker_loop();
-  void run_chunks();
+  void worker_loop(std::size_t worker);
+  void run_chunks(std::size_t worker);
 
   std::size_t num_threads_;
   std::vector<std::thread> workers_;
@@ -59,12 +111,13 @@ class ThreadPool {
   bool shutdown_ = false;
 
   // Current job.
-  const std::function<void(std::size_t)>* fn_ = nullptr;
+  RawJob job_ = nullptr;
+  void* ctx_ = nullptr;
   std::size_t n_ = 0;
   std::size_t chunk_ = 1;
   std::atomic<std::size_t> next_{0};
   std::atomic<std::size_t> completed_{0};
-  // Workers currently inside run_chunks.  parallel_for drains this to zero
+  // Workers currently inside run_chunks.  run_job drains this to zero
   // before mutating job state, so a worker that raced past the completion
   // check can never observe a half-written next job.
   std::atomic<int> active_{0};

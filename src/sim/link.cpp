@@ -50,12 +50,21 @@ PacketOutcome UplinkPacketLink::run_packet(detect::Detector& det,
                                            double noise_var,
                                            channel::Rng& rng) const {
   return run_packet_impl(
-      [&](const linalg::CMat& h) {
-        det.set_channel(h, noise_var);
-        return det.parallel_tasks();
-      },
-      [&](std::span<const linalg::CVec> ys, detect::BatchResult* out) {
-        det.detect_batch(ys, out);
+      [&](std::span<const linalg::CMat> channels,
+          std::span<const linalg::CVec> ys, std::size_t nv) {
+        // Per-subcarrier lifecycle over the frame: set_channel, then one
+        // batch of all OFDM symbols sharing that channel.
+        api::FrameResult fr;
+        fr.results.resize(ys.size());
+        detect::BatchResult batch;
+        for (std::size_t f = 0; f < channels.size(); ++f) {
+          det.set_channel(channels[f], noise_var);
+          fr.sum_active_paths += static_cast<double>(det.parallel_tasks());
+          ++fr.channels_installed;
+          det.detect_batch(ys.subspan(f * nv, nv), &batch);
+          api::fold_batch_into_frame(batch, f * nv, &fr);
+        }
+        return fr;
       },
       trace, noise_var, rng);
 }
@@ -70,20 +79,22 @@ PacketOutcome UplinkPacketLink::run_packet(api::UplinkPipeline& pipe,
         "LinkConfig.qam_order");
   }
   return run_packet_impl(
-      [&](const linalg::CMat& h) {
-        pipe.set_channel(h, noise_var);
-        return pipe.detector().parallel_tasks();
-      },
-      [&](std::span<const linalg::CVec> ys, detect::BatchResult* out) {
-        *out = pipe.detect(ys);
+      [&](std::span<const linalg::CMat> channels,
+          std::span<const linalg::CVec> ys, std::size_t nv) {
+        api::FrameJob job;
+        job.channels = channels;
+        job.ys = ys;
+        job.vectors_per_channel = nv;
+        job.noise_var = noise_var;
+        return pipe.detect_frame(job);
       },
       trace, noise_var, rng);
 }
 
 PacketOutcome UplinkPacketLink::run_packet_impl(
-    const std::function<std::size_t(const linalg::CMat&)>& install,
-    const std::function<void(std::span<const linalg::CVec>,
-                             detect::BatchResult*)>& detect_fn,
+    const std::function<api::FrameResult(std::span<const linalg::CMat>,
+                                         std::span<const linalg::CVec>,
+                                         std::size_t)>& detect_frame_fn,
     const channel::ChannelTrace& trace, double noise_var,
     channel::Rng& rng) const {
   const std::size_t nt = trace.per_subcarrier.front().cols();
@@ -104,32 +115,35 @@ PacketOutcome UplinkPacketLink::run_packet_impl(
   std::vector<std::vector<int>> detected(nt,
                                          std::vector<int>(users[0].symbols.size()));
 
-  // Detection: channels are per-subcarrier; symbol t of subcarrier f uses
-  // trace.per_subcarrier[f] (static channel over the packet).  All OFDM
-  // symbols of a subcarrier share its channel, so they form one batch —
-  // the per-channel lifecycle (set_channel → detect_batch) the paper's
-  // receiver runs, routed through whatever parallel substrate the detector
-  // has attached.
+  // Build the whole frame: channels are per-subcarrier (static over the
+  // packet) and symbol t of subcarrier f uses trace.per_subcarrier[f].
+  // All (subcarrier, OFDM symbol) received vectors are generated up front,
+  // subcarrier-major, and submitted as ONE frame job — the paper's
+  // flattened subframe workload.
   linalg::CVec s(nt);
-  std::vector<linalg::CVec> ys(n_ofdm_symbols_);
-  detect::BatchResult batch;
+  std::vector<linalg::CVec> ys(nsc * n_ofdm_symbols_);
   for (std::size_t f = 0; f < nsc; ++f) {
-    out.sum_active_pes +=
-        static_cast<double>(install(trace.per_subcarrier[f]));
-    ++out.channel_installs;
     for (std::size_t t = 0; t < n_ofdm_symbols_; ++t) {
       const std::size_t slot = t * nsc + f;
       for (std::size_t u = 0; u < nt; ++u) {
         s[u] = c_.point(users[u].symbols[slot]);
       }
-      ys[t] = channel::transmit(trace.per_subcarrier[f], s, noise_var, rng);
+      ys[f * n_ofdm_symbols_ + t] =
+          channel::transmit(trace.per_subcarrier[f], s, noise_var, rng);
     }
-    detect_fn(ys, &batch);
-    out.stats += batch.stats;
-    out.vectors_detected += ys.size();
+  }
+
+  const api::FrameResult fr = detect_frame_fn(
+      std::span<const linalg::CMat>(trace.per_subcarrier.data(), nsc), ys,
+      n_ofdm_symbols_);
+  out.stats += fr.stats;
+  out.vectors_detected += ys.size();
+  out.sum_active_pes += fr.sum_active_paths;
+  out.channel_installs += fr.channels_installed;
+  for (std::size_t f = 0; f < nsc; ++f) {
     for (std::size_t t = 0; t < n_ofdm_symbols_; ++t) {
       const std::size_t slot = t * nsc + f;
-      const detect::DetectionResult& res = batch.results[t];
+      const detect::DetectionResult& res = fr.results[f * n_ofdm_symbols_ + t];
       for (std::size_t u = 0; u < nt; ++u) {
         detected[u][slot] = res.symbols[u];
         ++out.symbols_sent;

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "api/uplink_pipeline.h"
 #include "channel/rng.h"
 #include "channel/trace.h"
 #include "coding/interleaver.h"
@@ -21,10 +22,6 @@
 #include "detect/detector.h"
 #include "modulation/constellation.h"
 #include "ofdm/ofdm.h"
-
-namespace flexcore::api {
-class UplinkPipeline;
-}  // namespace flexcore::api
 
 namespace flexcore::sim {
 
@@ -51,16 +48,18 @@ class UplinkPacketLink {
  public:
   explicit UplinkPacketLink(const LinkConfig& cfg);
 
-  /// Simulates one packet burst with hard-decision detection.  Detection
-  /// runs one detect_batch per data subcarrier (all OFDM symbols of a
-  /// subcarrier share its channel).
+  /// Simulates one packet burst with hard-decision detection.  The whole
+  /// frame (all data subcarriers x all OFDM symbols) is detected as one
+  /// job: raw detectors run the per-subcarrier set_channel + detect_batch
+  /// lifecycle over it.
   PacketOutcome run_packet(detect::Detector& det,
                            const channel::ChannelTrace& trace,
                            double noise_var, channel::Rng& rng) const;
 
-  /// Same, but driven through an api::UplinkPipeline — the facade's thread
-  /// pool and lifecycle counters (channel installs, vectors, stats) see
-  /// every subcarrier batch.
+  /// Same, but driven through an api::UplinkPipeline: the frame is
+  /// submitted as ONE api::FrameJob (parallel per-subcarrier preprocessing
+  /// + a single subcarrier x vector x path grid), and the facade's
+  /// lifecycle counters see every channel and vector.
   PacketOutcome run_packet(api::UplinkPipeline& pipe,
                            const channel::ChannelTrace& trace,
                            double noise_var, channel::Rng& rng) const;
@@ -78,13 +77,13 @@ class UplinkPacketLink {
   const modulation::Constellation& constellation() const noexcept { return c_; }
 
  private:
-  /// Shared packet body: `install` installs a subcarrier channel and
-  /// returns the detector's parallel task count; `detect_fn` runs one
-  /// subcarrier batch.
+  /// Shared packet body: `detect_frame_fn` consumes the whole frame
+  /// (channels per subcarrier + subcarrier-major received vectors) and
+  /// returns the frame verdicts + lifecycle counters.
   PacketOutcome run_packet_impl(
-      const std::function<std::size_t(const linalg::CMat&)>& install,
-      const std::function<void(std::span<const linalg::CVec>,
-                               detect::BatchResult*)>& detect_fn,
+      const std::function<api::FrameResult(std::span<const linalg::CMat>,
+                                           std::span<const linalg::CVec>,
+                                           std::size_t)>& detect_frame_fn,
       const channel::ChannelTrace& trace, double noise_var,
       channel::Rng& rng) const;
 

@@ -61,6 +61,53 @@ TEST(ThreadPool, ExplicitChunkSizeHonoursAllIndices) {
   for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
 }
 
+TEST(ThreadPool, WorkerIndexInRangeAndExclusive) {
+  // parallel_for_worker must hand every iteration a worker index in
+  // [0, size()) and never run two concurrent iterations under the same
+  // index — the contract per-worker workspaces rely on.
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    fp::ThreadPool pool(threads);
+    const std::size_t n = 5000;
+    std::vector<std::atomic<int>> in_flight(threads);
+    std::vector<std::atomic<int>> hits(n);
+    std::atomic<bool> overlap{false};
+    pool.parallel_for_worker(n, [&](std::size_t w, std::size_t i) {
+      ASSERT_LT(w, threads);
+      if (in_flight[w].fetch_add(1, std::memory_order_acq_rel) != 0) {
+        overlap.store(true, std::memory_order_relaxed);
+      }
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+      in_flight[w].fetch_sub(1, std::memory_order_acq_rel);
+    });
+    EXPECT_FALSE(overlap.load()) << "threads=" << threads;
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, ChunkOverloadCoversRangeOncePerIndex) {
+  for (std::size_t threads : {1u, 3u}) {
+    fp::ThreadPool pool(threads);
+    const std::size_t n = 1003;  // ragged vs chunk size
+    std::vector<std::atomic<int>> hits(n);
+    std::atomic<std::size_t> calls{0};
+    pool.parallel_for_chunks(
+        n,
+        [&](std::size_t w, std::size_t begin, std::size_t end) {
+          ASSERT_LT(w, threads);
+          ASSERT_LE(begin, end);
+          ASSERT_LE(end, n);
+          calls.fetch_add(1, std::memory_order_relaxed);
+          for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+        },
+        /*chunk=*/64);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+    if (threads > 1) {
+      // One call per chunk, not per index.
+      EXPECT_LE(calls.load(), (n + 63) / 64);
+    }
+  }
+}
+
 TEST(ThreadPool, ParallelSumMatchesSequential) {
   fp::ThreadPool pool(4);
   const std::size_t n = 100000;
