@@ -1,0 +1,24 @@
+#include "api/cell.h"
+
+namespace flexcore::api {
+
+namespace {
+
+PipelineConfig pipeline_config_of(const CellConfig& cfg,
+                                  parallel::ThreadPool* pool) {
+  PipelineConfig pcfg;
+  pcfg.detector = cfg.detector;
+  pcfg.qam_order = cfg.qam_order;
+  pcfg.shared_pool = pool;  // all cells multiplex the runtime's PE pool
+  pcfg.tuning = cfg.tuning;
+  return pcfg;
+}
+
+}  // namespace
+
+Cell::Cell(std::size_t id, const CellConfig& cfg, parallel::ThreadPool* pool)
+    : id_(id), cfg_(cfg), pipe_(pipeline_config_of(cfg, pool)) {
+  if (cfg_.name.empty()) cfg_.name = "cell" + std::to_string(id);
+}
+
+}  // namespace flexcore::api

@@ -1,0 +1,116 @@
+// One cell's session inside the asynchronous access-point runtime.
+//
+// A Cell is the per-cell building block api::Runtime composes: it owns the
+// cell's detector spec, constellation and antenna geometry (via an
+// UplinkPipeline running on the runtime's SHARED thread pool), the cell's
+// FIFO queue of pending frames, and the per-cell counters surfaced in
+// RuntimeStats.  Cells are created by Runtime::open_cell and live as long
+// as the runtime; the runtime serializes all detection on one cell (frames
+// of the same cell never run concurrently, which is what makes the
+// bit-identical-to-synchronous guarantee and the FIFO completion order
+// hold), while frames of DIFFERENT cells decode concurrently.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "api/uplink_pipeline.h"
+
+namespace flexcore::api {
+
+struct TicketState;  // defined in runtime.cpp; shared with FrameTicket
+
+/// Configuration of one cell session.  Each cell owns its detector spec,
+/// constellation and antenna geometry (implied by the jobs it receives);
+/// `reuse_preprocessing` is the cell's channel-coherence policy.
+struct CellConfig {
+  /// Label reported in RuntimeStats (default: "cell<id>").
+  std::string name;
+  /// Registry spec for the cell's detector ("flexcore-64", "fcsd-L2", ...).
+  std::string detector = "flexcore-64";
+  int qam_order = 64;
+  /// Detector tuning forwarded to api::make_detector (constellation field
+  /// is ignored — the cell owns its constellation).
+  DetectorConfig tuning;
+  /// Static-channel coherence policy: when true, every frame after the
+  /// cell's first reuses the per-subcarrier preprocessing (QR + path
+  /// selection) of the previous frame — the caller asserts the channels are
+  /// unchanged within the coherence interval.  A frame with a different
+  /// subcarrier count re-preprocesses automatically (the pipeline guards
+  /// the mismatch).  Independent of this policy, a submitted FrameJob with
+  /// reuse_preprocessing = true keeps that request.
+  bool reuse_preprocessing = false;
+};
+
+/// Per-cell counter snapshot inside RuntimeStats.  Consistency invariant
+/// (checked by tests): frames_in == frames_out + frames_dropped +
+/// frames_expired + frames_failed + queue_depth + in-flight (0 or 1).
+struct CellStats {
+  std::size_t cell_id = 0;
+  std::string name;
+  std::string detector;
+  std::uint64_t frames_in = 0;       ///< submit() calls (incl. dropped)
+  std::uint64_t frames_out = 0;      ///< completed Done
+  std::uint64_t frames_dropped = 0;  ///< rejected by DropNewest admission
+  std::uint64_t frames_expired = 0;  ///< completed Expired (DeadlineExpire)
+  std::uint64_t frames_failed = 0;   ///< detection threw (status Failed)
+  std::size_t queue_depth = 0;       ///< currently queued, not in flight
+  std::size_t in_flight = 0;         ///< 0 or 1 (cells are serialized)
+};
+
+class Runtime;
+
+/// A per-cell session handle.  Thread-safe to pass around; all mutation
+/// happens through the owning Runtime (submit/dispatch), which guards the
+/// queue and counters with its own lock.
+class Cell {
+ public:
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+
+  std::size_t id() const noexcept { return id_; }
+  const CellConfig& config() const noexcept { return cfg_; }
+  const modulation::Constellation& constellation() const noexcept {
+    return pipe_.constellation();
+  }
+
+  /// The cell's pipeline.  The runtime serializes its own use of it; only
+  /// touch it when no frames of this cell are queued or in flight (e.g.
+  /// for set_channel-style warmup before submitting, or in tests).
+  UplinkPipeline& pipeline() noexcept { return pipe_; }
+
+ private:
+  friend class Runtime;
+
+  Cell(std::size_t id, const CellConfig& cfg, parallel::ThreadPool* pool);
+
+  /// One admitted frame waiting for dispatch.  Everything below is guarded
+  /// by the owning Runtime's mutex.
+  struct Pending {
+    FrameJob job;
+    std::shared_ptr<TicketState> ticket;
+    std::chrono::steady_clock::time_point submitted;
+    /// time_point::max() when the frame carries no deadline.
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  std::size_t id_;
+  CellConfig cfg_;
+  UplinkPipeline pipe_;
+  std::deque<Pending> queue_;
+  bool busy_ = false;       ///< a dispatcher is running this cell's frame
+  bool scheduled_ = false;  ///< busy_ or sitting in the runnable list
+  bool warm_ = false;       ///< a frame has run; coherence reuse is valid
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t frames_in_ = 0;
+  std::uint64_t frames_out_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t frames_expired_ = 0;
+  std::uint64_t frames_failed_ = 0;
+};
+
+}  // namespace flexcore::api

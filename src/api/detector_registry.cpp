@@ -180,8 +180,8 @@ std::unique_ptr<detect::Detector> DetectorRegistry::make(
   for (const Entry& e : entries_) {
     if (auto det = e.factory(spec, cfg)) return det;
   }
-  std::string msg = "api::make_detector: unknown detector \"" +
-                    std::string(spec) + "\"; registered:";
+  std::string msg =
+      "api::make_detector: no detector \"" + std::string(spec) + "\"; known:";
   for (const Entry& e : entries_) {
     msg += ' ';
     msg += e.pattern;
@@ -217,6 +217,10 @@ DetectorRegistry& DetectorRegistry::global() {
 std::unique_ptr<detect::Detector> make_detector(std::string_view spec,
                                                 const DetectorConfig& cfg) {
   return DetectorRegistry::global().make(spec, cfg);
+}
+
+std::vector<std::string> list_specs() {
+  return DetectorRegistry::global().canonical_names();
 }
 
 }  // namespace flexcore::api

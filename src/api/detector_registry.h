@@ -94,6 +94,13 @@ class DetectorRegistry {
 std::unique_ptr<detect::Detector> make_detector(std::string_view spec,
                                                 const DetectorConfig& cfg);
 
+/// One canonical, fully-parameterized spec per registered family (e.g.
+/// "flexcore-64", "fcsd-L1", "kbest-8", ...), in registration order.  Every
+/// returned spec constructs via make_detector and round-trips through
+/// name().  Benches/tests should iterate this instead of hard-coding the
+/// name table, so new backends are picked up automatically.
+std::vector<std::string> list_specs();
+
 /// Same, but returns the concrete detector type for callers that need
 /// subtype-specific API (e.g. FlexCoreDetector::detect_soft).  Throws
 /// std::invalid_argument when the spec constructs a different type.

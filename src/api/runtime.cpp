@@ -1,0 +1,478 @@
+#include "api/runtime.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace flexcore::api {
+
+using Clock = std::chrono::steady_clock;
+
+const char* to_string(QueuePolicy policy) {
+  switch (policy) {
+    case QueuePolicy::kBlock: return "block";
+    case QueuePolicy::kDropNewest: return "drop-newest";
+    case QueuePolicy::kDeadlineExpire: return "deadline-expire";
+  }
+  return "?";
+}
+
+const char* to_string(TicketStatus status) {
+  switch (status) {
+    case TicketStatus::kPending: return "pending";
+    case TicketStatus::kDone: return "done";
+    case TicketStatus::kDropped: return "dropped";
+    case TicketStatus::kExpired: return "expired";
+    case TicketStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------- FrameTicket
+
+/// Shared between the submitting thread, the completing thread and every
+/// FrameTicket copy.  Guarded by its own mutex so ticket polling never
+/// contends with the runtime lock.
+struct TicketState {
+  std::mutex mu;
+  std::condition_variable cv;
+  /// Published state: what wait()/try_get()/take() observe.  Stays
+  /// kPending until the registered callbacks have RETURNED, so a waiter
+  /// can never move the result out (take) while a callback still reads it.
+  TicketStatus status = TicketStatus::kPending;
+  /// Decided outcome, set when completion begins (callbacks may still be
+  /// running).  != kPending means late on_complete registrations fire
+  /// immediately instead of queueing (the queue was already drained).
+  TicketStatus final_status = TicketStatus::kPending;
+  FrameResult result;
+  std::string error;
+  std::vector<std::function<void(TicketStatus, const FrameResult*)>>
+      callbacks;
+  /// take() consumed the result: late callbacks observe nullptr instead of
+  /// the moved-from shell.
+  bool taken = false;
+  /// Callbacks registered after completion, currently running unlocked
+  /// with a pointer into `result`; take() waits for them to finish so the
+  /// move can never race a reader.
+  int late_readers = 0;
+  std::uint64_t seq = 0;
+  std::size_t cell_id = 0;
+};
+
+namespace {
+
+/// Transitions a ticket to its terminal state: stores the outcome, fires
+/// the registered callbacks (outside the ticket lock), and only THEN
+/// publishes the status and wakes waiters — callbacks read the result in
+/// place, so nothing may be able to take() it concurrently.
+void complete_ticket(TicketState& st, TicketStatus status,
+                     FrameResult&& result, std::string&& error) {
+  std::vector<std::function<void(TicketStatus, const FrameResult*)>> cbs;
+  {
+    std::lock_guard lock(st.mu);
+    st.final_status = status;
+    st.result = std::move(result);
+    st.error = std::move(error);
+    cbs.swap(st.callbacks);
+  }
+  const FrameResult* r =
+      status == TicketStatus::kDone ? &st.result : nullptr;
+  for (auto& cb : cbs) {
+    // Callbacks must not throw.  One that does must not be allowed to
+    // derail the completion protocol (status unpublished -> waiters hang,
+    // exception escaping a dispatcher -> std::terminate), so it is
+    // swallowed here.
+    try {
+      cb(status, r);
+    } catch (...) {
+    }
+  }
+  {
+    std::lock_guard lock(st.mu);
+    st.status = status;
+  }
+  st.cv.notify_all();
+}
+
+}  // namespace
+
+FrameTicket::FrameTicket(std::shared_ptr<TicketState> st)
+    : st_(std::move(st)) {}
+
+FrameTicket::~FrameTicket() = default;
+
+TicketStatus FrameTicket::status() const {
+  std::lock_guard lock(st_->mu);
+  return st_->status;
+}
+
+TicketStatus FrameTicket::wait() const {
+  std::unique_lock lock(st_->mu);
+  st_->cv.wait(lock, [&] { return st_->status != TicketStatus::kPending; });
+  return st_->status;
+}
+
+const FrameResult* FrameTicket::try_get() const {
+  std::lock_guard lock(st_->mu);
+  // A taken result is gone: expose "no result", never the moved-from shell.
+  return st_->status == TicketStatus::kDone && !st_->taken ? &st_->result
+                                                           : nullptr;
+}
+
+FrameResult FrameTicket::take() {
+  std::unique_lock lock(st_->mu);
+  if (st_->status != TicketStatus::kDone) {
+    throw std::logic_error(std::string("FrameTicket::take: status is ") +
+                           to_string(st_->status));
+  }
+  if (st_->taken) {
+    throw std::logic_error("FrameTicket::take: result already taken");
+  }
+  // A late-registered callback may be reading the result unlocked right
+  // now; moving it out from under the read would be a data race.
+  st_->cv.wait(lock, [&] { return st_->late_readers == 0; });
+  if (st_->taken) {  // a concurrent take() won the race while we waited
+    throw std::logic_error("FrameTicket::take: result already taken");
+  }
+  st_->taken = true;
+  return std::move(st_->result);
+}
+
+std::string FrameTicket::error() const {
+  std::lock_guard lock(st_->mu);
+  return st_->error;
+}
+
+void FrameTicket::on_complete(
+    std::function<void(TicketStatus, const FrameResult*)> fn) {
+  TicketStatus now;
+  const FrameResult* r = nullptr;
+  {
+    std::lock_guard lock(st_->mu);
+    // final_status (not status): once completion began the callback list
+    // was drained, so queueing here would silently lose the callback.
+    if (st_->final_status == TicketStatus::kPending) {
+      st_->callbacks.push_back(std::move(fn));
+      return;
+    }
+    now = st_->final_status;
+    // Late fire: pin the result against take() while the callback reads it
+    // (a result already taken is gone — the callback gets nullptr).
+    if (now == TicketStatus::kDone && !st_->taken) {
+      r = &st_->result;
+      ++st_->late_readers;
+    }
+  }
+  if (r == nullptr) {
+    fn(now, r);  // nothing pinned; a throw is the caller's own problem
+    return;
+  }
+  try {
+    fn(now, r);
+  } catch (...) {
+    release_late_reader();
+    throw;  // rethrown on the registering thread with the pin released
+  }
+  release_late_reader();
+}
+
+void FrameTicket::release_late_reader() {
+  {
+    std::lock_guard lock(st_->mu);
+    --st_->late_readers;
+  }
+  st_->cv.notify_all();
+}
+
+std::uint64_t FrameTicket::sequence() const { return st_->seq; }
+std::size_t FrameTicket::cell_id() const { return st_->cell_id; }
+
+// ----------------------------------------------------------------- Runtime
+
+Runtime::Runtime(const RuntimeConfig& cfg)
+    : cfg_(cfg),
+      pool_(cfg.threads > 0 ? cfg.threads : parallel::default_thread_count()) {
+  if (cfg_.queue_capacity == 0) {
+    throw std::invalid_argument("Runtime: queue_capacity must be >= 1");
+  }
+  dispatchers_.reserve(cfg_.dispatchers);
+  for (std::size_t d = 0; d < cfg_.dispatchers; ++d) {
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  }
+}
+
+Runtime::~Runtime() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  runnable_cv_.notify_all();
+  space_cv_.notify_all();  // blocked submitters throw on wake
+  if (dispatchers_.empty()) {
+    while (run_one()) {  // poll mode: pump the remaining frames here
+    }
+  }
+  for (auto& t : dispatchers_) t.join();
+}
+
+Cell& Runtime::open_cell(const CellConfig& cfg) {
+  std::lock_guard lock(mu_);
+  cells_.emplace_back(new Cell(cells_.size(), cfg, &pool_));
+  return *cells_.back();
+}
+
+std::size_t Runtime::cell_count() const {
+  std::lock_guard lock(mu_);
+  return cells_.size();
+}
+
+FrameTicket Runtime::submit(Cell& cell, const FrameJob& job,
+                            std::uint64_t deadline_us) {
+  validate_frame_job(job);
+  auto st = std::make_shared<TicketState>();
+  st->cell_id = cell.id_;
+
+  std::unique_lock lock(mu_);
+  while (true) {
+    if (shutdown_) {
+      throw std::logic_error("Runtime::submit: runtime is shutting down");
+    }
+    if (queued_total_ < cfg_.queue_capacity) break;
+    switch (cfg_.policy) {
+      case QueuePolicy::kDropNewest: {
+        st->seq = cell.next_seq_++;
+        ++cell.frames_in_;
+        ++cell.frames_dropped_;
+        lock.unlock();
+        FrameTicket ticket(st);
+        complete_ticket(*st, TicketStatus::kDropped, FrameResult{}, "");
+        return ticket;
+      }
+      case QueuePolicy::kDeadlineExpire: {
+        if (expire_stale(lock)) continue;  // re-check capacity
+        // Nothing stale yet: sleep until the earliest queued deadline (or
+        // a slot frees), then loop — expire_stale will catch whatever went
+        // stale in the meantime.  An untimed wait here would never expire
+        // anything in poll mode (nobody else wakes this thread).
+        const auto wake = earliest_deadline_locked();
+        const auto have_space = [&] {
+          return shutdown_ || queued_total_ < cfg_.queue_capacity;
+        };
+        if (wake == Clock::time_point::max()) {
+          space_cv_.wait(lock, have_space);
+        } else {
+          space_cv_.wait_until(lock, wake, have_space);
+        }
+        continue;
+      }
+      case QueuePolicy::kBlock:
+        space_cv_.wait(lock, [&] {
+          return shutdown_ || queued_total_ < cfg_.queue_capacity;
+        });
+        break;
+    }
+  }
+
+  // Sequence numbers are assigned at ENQUEUE time, so per-cell queue order,
+  // sequence order and completion order all coincide.
+  st->seq = cell.next_seq_++;
+  ++cell.frames_in_;
+  Cell::Pending pf;
+  pf.job = job;
+  pf.ticket = st;
+  pf.submitted = Clock::now();
+  pf.deadline = deadline_us > 0
+                    ? pf.submitted + std::chrono::microseconds(deadline_us)
+                    : Clock::time_point::max();
+  cell.queue_.push_back(std::move(pf));
+  ++queued_total_;
+  if (!cell.scheduled_) {
+    cell.scheduled_ = true;
+    runnable_.push_back(&cell);
+    runnable_cv_.notify_one();
+  }
+  return FrameTicket(std::move(st));
+}
+
+Clock::time_point Runtime::earliest_deadline_locked() const {
+  auto earliest = Clock::time_point::max();
+  for (const auto& cell : cells_) {
+    for (const auto& pf : cell->queue_) {
+      if (pf.deadline < earliest) earliest = pf.deadline;
+    }
+  }
+  return earliest;
+}
+
+bool Runtime::expire_stale(std::unique_lock<std::mutex>& lock) {
+  const auto now = Clock::now();
+  std::vector<std::shared_ptr<TicketState>> expired;
+  for (auto& cell : cells_) {
+    auto& q = cell->queue_;
+    for (auto it = q.begin(); it != q.end();) {
+      if (it->deadline < now) {
+        expired.push_back(std::move(it->ticket));
+        it = q.erase(it);
+        --queued_total_;
+        ++cell->frames_expired_;
+      } else {
+        ++it;
+      }
+    }
+    if (q.empty() && cell->scheduled_ && !cell->busy_) {
+      runnable_.erase(
+          std::remove(runnable_.begin(), runnable_.end(), cell.get()),
+          runnable_.end());
+      cell->scheduled_ = false;
+    }
+  }
+  if (expired.empty()) return false;
+  space_cv_.notify_all();
+  drain_cv_.notify_all();
+  lock.unlock();
+  for (auto& st : expired) {
+    complete_ticket(*st, TicketStatus::kExpired, FrameResult{}, "");
+  }
+  lock.lock();
+  return true;
+}
+
+void Runtime::process_next(std::unique_lock<std::mutex>& lock) {
+  Cell* cell = runnable_.front();
+  runnable_.pop_front();
+  cell->busy_ = true;  // scheduled_ stays true while busy
+  Cell::Pending pf = std::move(cell->queue_.front());
+  cell->queue_.pop_front();
+  --queued_total_;
+  ++in_flight_;
+  space_cv_.notify_one();
+  // The cell's coherence policy ORs with the job's own flag; only valid
+  // once a first frame warmed the per-subcarrier preprocessing caches.
+  const bool reuse = pf.job.reuse_preprocessing ||
+                     (cell->cfg_.reuse_preprocessing && cell->warm_);
+  lock.unlock();
+
+  TicketStatus status;
+  FrameResult result;
+  std::string error;
+  if (cfg_.policy == QueuePolicy::kDeadlineExpire &&
+      Clock::now() > pf.deadline) {
+    status = TicketStatus::kExpired;  // never occupies the PE pool
+  } else {
+    FrameJob job = pf.job;
+    job.reuse_preprocessing = reuse;
+    try {
+      result = cell->pipe_.detect_frame(job);
+      status = TicketStatus::kDone;
+    } catch (const std::exception& e) {
+      status = TicketStatus::kFailed;
+      error = e.what();
+    }
+  }
+  const double latency_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - pf.submitted)
+          .count();
+
+  // Ticket first (callbacks run without any lock), bookkeeping second.
+  // The cell is NOT released until the callbacks return: that is what
+  // makes per-dispatch callback order strictly FIFO per cell — the cell's
+  // next frame cannot complete (or even start) while this frame's
+  // callbacks run.
+  complete_ticket(*pf.ticket, status, std::move(result), std::move(error));
+
+  // One critical section for outcome counters AND the in-flight/busy
+  // release, so stats() never observes a frame double-counted as both
+  // completed and in flight (an observer woken by the ticket may briefly
+  // still see it as in flight — the consistent direction).
+  lock.lock();
+  switch (status) {
+    case TicketStatus::kDone:
+      ++cell->frames_out_;
+      cell->warm_ = true;
+      latency_.record(latency_us);
+      break;
+    case TicketStatus::kExpired: ++cell->frames_expired_; break;
+    case TicketStatus::kFailed: ++cell->frames_failed_; break;
+    default: break;
+  }
+  cell->busy_ = false;
+  if (!cell->queue_.empty()) {
+    runnable_.push_back(cell);  // round-robin across cells
+    runnable_cv_.notify_one();
+  } else {
+    cell->scheduled_ = false;
+  }
+  --in_flight_;
+  drain_cv_.notify_all();
+}
+
+bool Runtime::run_one() {
+  std::unique_lock lock(mu_);
+  if (runnable_.empty()) return false;
+  process_next(lock);
+  return true;
+}
+
+void Runtime::dispatcher_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    runnable_cv_.wait(lock,
+                      [&] { return shutdown_ || !runnable_.empty(); });
+    if (!runnable_.empty()) {
+      process_next(lock);
+      continue;  // drain everything before honouring shutdown
+    }
+    if (shutdown_) return;
+  }
+}
+
+void Runtime::drain() {
+  if (cfg_.dispatchers == 0) {
+    // Poll mode: pump the queue on this thread; if another thread is
+    // mid-frame, wait for its completion notification and re-check.
+    for (;;) {
+      while (run_one()) {
+      }
+      std::unique_lock lock(mu_);
+      if (queued_total_ == 0 && in_flight_ == 0) return;
+      drain_cv_.wait(lock);
+    }
+  }
+  std::unique_lock lock(mu_);
+  drain_cv_.wait(lock,
+                 [&] { return queued_total_ == 0 && in_flight_ == 0; });
+}
+
+RuntimeStats Runtime::stats() const {
+  std::lock_guard lock(mu_);
+  RuntimeStats out;
+  out.cells.reserve(cells_.size());
+  for (const auto& cell : cells_) {
+    CellStats cs;
+    cs.cell_id = cell->id_;
+    cs.name = cell->cfg_.name;
+    cs.detector = cell->cfg_.detector;
+    cs.frames_in = cell->frames_in_;
+    cs.frames_out = cell->frames_out_;
+    cs.frames_dropped = cell->frames_dropped_;
+    cs.frames_expired = cell->frames_expired_;
+    cs.frames_failed = cell->frames_failed_;
+    cs.queue_depth = cell->queue_.size();
+    cs.in_flight = cell->busy_ ? 1 : 0;
+    out.frames_in += cs.frames_in;
+    out.frames_out += cs.frames_out;
+    out.frames_dropped += cs.frames_dropped;
+    out.frames_expired += cs.frames_expired;
+    out.frames_failed += cs.frames_failed;
+    out.cells.push_back(std::move(cs));
+  }
+  out.queue_depth = queued_total_;
+  out.in_flight = in_flight_;
+  out.latency_count = latency_.count();
+  out.latency_mean_us = latency_.mean_us();
+  out.latency_p50_us = latency_.quantile_us(0.50);
+  out.latency_p99_us = latency_.quantile_us(0.99);
+  return out;
+}
+
+}  // namespace flexcore::api

@@ -28,14 +28,43 @@ void fold_batch_into_frame(detect::BatchResult& batch, std::size_t offset,
   out->detect_seconds += batch.elapsed_seconds;
 }
 
+void validate_frame_job(const FrameJob& job) {
+  const std::size_t nsc = job.channels.size();
+  if (job.ys.size() != nsc * job.vectors_per_channel) {
+    throw std::invalid_argument(
+        "FrameJob: ys.size() != channels.size() * vectors_per_channel");
+  }
+  if (nsc == 0) return;
+  const linalg::CMat& front = job.channels.front();
+  if (front.rows() == 0 || front.cols() == 0) {
+    throw std::invalid_argument("FrameJob: empty channel matrix");
+  }
+  for (const linalg::CMat& h : job.channels) {
+    if (!h.same_shape(front)) {
+      throw std::invalid_argument("FrameJob: channels must share dimensions");
+    }
+  }
+  for (const linalg::CVec& y : job.ys) {
+    if (y.size() != front.rows()) {
+      throw std::invalid_argument(
+          "FrameJob: received vector length != channel rows");
+    }
+  }
+}
+
 UplinkPipeline::UplinkPipeline(const PipelineConfig& cfg)
-    : cfg_(cfg),
-      constellation_(cfg.qam_order),
-      pool_(cfg.threads > 0 ? cfg.threads : parallel::default_thread_count()) {
+    : cfg_(cfg), constellation_(cfg.qam_order) {
+  if (cfg.shared_pool != nullptr) {
+    pool_ = cfg.shared_pool;
+  } else {
+    owned_pool_ = std::make_unique<parallel::ThreadPool>(
+        cfg.threads > 0 ? cfg.threads : parallel::default_thread_count());
+    pool_ = owned_pool_.get();
+  }
   DetectorConfig dcfg = cfg.tuning;
   dcfg.constellation = &constellation_;
   det_ = make_detector(cfg.detector, dcfg);
-  det_->set_thread_pool(&pool_);
+  det_->set_thread_pool(pool_);
   flex_ = dynamic_cast<core::FlexCoreDetector*>(det_.get());
 }
 
@@ -75,7 +104,7 @@ void UplinkPipeline::ensure_frame_detectors(std::size_t count) {
     DetectorConfig dcfg = cfg_.tuning;
     dcfg.constellation = &constellation_;
     frame_dets_.push_back(make_detector(cfg_.detector, dcfg));
-    frame_dets_.back()->set_thread_pool(&pool_);
+    frame_dets_.back()->set_thread_pool(pool_);
   }
 }
 
@@ -99,16 +128,16 @@ bool UplinkPipeline::try_typed_frame(const FrameJob& job, FrameResult* out) {
   const std::size_t nt = job.channels.front().cols();
 
   detect::run_frame_grid<D>(std::span<const D* const>(typed), paths, job.ys,
-                            nv, nt, pool_, &frame_grid_);
+                            nv, nt, *pool_, &frame_grid_);
   out->tasks = frame_grid_.tasks;
   out->detect_seconds = frame_grid_.elapsed_seconds;
 
   // Winner reconstruction: one instrumented walk per vector, SIC fallback
   // where every path was deactivated — same policy as detect_batch.
   const std::size_t units = nsc * nv;
-  workspaces_.ensure(pool_.size());
+  workspaces_.ensure(pool_->size());
   frame_fell_.assign(units, 0);
-  pool_.parallel_for_worker(units, [&](std::size_t w, std::size_t u) {
+  pool_->parallel_for_worker(units, [&](std::size_t w, std::size_t u) {
     frame_fell_[u] = typed[u / nv]->reconstruct_winner(
         frame_grid_.ybar(u), frame_grid_.best_path[u],
         frame_grid_.best_metric[u], workspaces_.at(w), &out->results[u]);
@@ -135,17 +164,7 @@ void UplinkPipeline::generic_frame(const FrameJob& job, FrameResult* out) {
 FrameResult UplinkPipeline::detect_frame(const FrameJob& job) {
   const std::size_t nsc = job.channels.size();
   const std::size_t nv = job.vectors_per_channel;
-  if (job.ys.size() != nsc * nv) {
-    throw std::invalid_argument(
-        "UplinkPipeline::detect_frame: ys.size() != channels.size() * "
-        "vectors_per_channel");
-  }
-  for (const linalg::CMat& h : job.channels) {
-    if (!h.same_shape(job.channels.front())) {
-      throw std::invalid_argument(
-          "UplinkPipeline::detect_frame: channels must share dimensions");
-    }
-  }
+  validate_frame_job(job);
 
   FrameResult out;
   out.results.resize(job.ys.size());
@@ -156,15 +175,24 @@ FrameResult UplinkPipeline::detect_frame(const FrameJob& job) {
   // Within a static-channel coherence interval the caller can assert the
   // channels are unchanged and skip it entirely.
   ensure_frame_detectors(nsc);
-  if (!(job.reuse_preprocessing && frame_ready_channels_ == nsc)) {
+  // Reuse demands the SAME workload shape as the cached installs — count
+  // AND antenna geometry.  A same-count frame with different dimensions
+  // would walk mismatched QR state, so it re-preprocesses instead.
+  const bool reuse_hit = job.reuse_preprocessing &&
+                         frame_ready_channels_ == nsc &&
+                         frame_ready_rows_ == job.channels.front().rows() &&
+                         frame_ready_cols_ == job.channels.front().cols();
+  if (!reuse_hit) {
     const auto t0 = std::chrono::steady_clock::now();
-    pool_.parallel_for(nsc, [&](std::size_t f) {
+    pool_->parallel_for(nsc, [&](std::size_t f) {
       frame_dets_[f]->set_channel(job.channels[f], job.noise_var);
     });
     out.preprocess_seconds = seconds_since(t0);
     out.channels_installed = nsc;
     channel_installs_ += nsc;
     frame_ready_channels_ = nsc;
+    frame_ready_rows_ = job.channels.front().rows();
+    frame_ready_cols_ = job.channels.front().cols();
   }
   for (std::size_t f = 0; f < nsc; ++f) {
     out.sum_active_paths += static_cast<double>(frame_dets_[f]->parallel_tasks());

@@ -53,7 +53,14 @@ struct PipelineConfig {
   std::string detector = "flexcore-64";
   int qam_order = 64;
   /// Worker threads for the batch task grid (0 = all hardware threads).
+  /// Ignored when `shared_pool` is set.
   std::size_t threads = 0;
+  /// Non-owning: when set, the pipeline runs its grids on this pool instead
+  /// of owning one — api::Runtime uses this to share ONE PE pool across all
+  /// cells.  The pool must outlive the pipeline.  Concurrent detect calls
+  /// on the SAME pipeline remain unsupported; distinct pipelines may share
+  /// a pool and run concurrently (the pool multiplexes their grids).
+  parallel::ThreadPool* shared_pool = nullptr;
   /// Detector tuning forwarded to api::make_detector.  Its `constellation`
   /// field is ignored — the pipeline owns the constellation.
   DetectorConfig tuning;
@@ -78,7 +85,8 @@ struct FrameJob {
   /// static-channel coherence interval, where consecutive frames share
   /// channels.  The caller asserts `channels` is unchanged since that
   /// call; only detection runs.  Ignored (full preprocessing) when the
-  /// previous frame had a different subcarrier count or none ran yet.
+  /// previous frame had a different subcarrier count or antenna geometry,
+  /// or none ran yet.
   /// The per-subcarrier loop cannot amortize this: set_channel overwrites
   /// the single-channel state on every subcarrier.
   bool reuse_preprocessing = false;
@@ -98,6 +106,20 @@ struct FrameResult {
   double preprocess_seconds = 0.0;     ///< parallel QR + path selection
   double detect_seconds = 0.0;         ///< the frame task grid
 };
+
+/// Validates a FrameJob's shape without running it; throws
+/// std::invalid_argument on degenerate jobs:
+///   * ys.size() != channels.size() * vectors_per_channel (mismatched
+///     per-subcarrier batch sizes),
+///   * channels that do not share dimensions,
+///   * empty channel matrices (zero rows or columns),
+///   * received vectors whose length differs from the channel row count.
+/// Zero subcarriers and zero vectors_per_channel are NOT errors: the former
+/// yields an empty FrameResult, the latter a preprocessing-only call.
+/// detect_frame runs these checks itself; api::Runtime::submit runs them
+/// synchronously so malformed jobs throw at the call site instead of
+/// failing asynchronously on a dispatcher thread.
+void validate_frame_job(const FrameJob& job);
 
 /// Folds one subcarrier's BatchResult into a FrameResult at vector offset
 /// `offset` (results are moved out of `batch`; counters and timing
@@ -148,7 +170,10 @@ class UplinkPipeline {
   const modulation::Constellation& constellation() const noexcept {
     return constellation_;
   }
-  parallel::ThreadPool& pool() noexcept { return pool_; }
+  parallel::ThreadPool& pool() noexcept { return *pool_; }
+  /// True when the pipeline runs on a caller-provided pool
+  /// (PipelineConfig::shared_pool) rather than one it owns.
+  bool uses_shared_pool() const noexcept { return owned_pool_ == nullptr; }
   const PipelineConfig& config() const noexcept { return cfg_; }
 
   /// Lifecycle counters aggregated across the session.
@@ -167,7 +192,8 @@ class UplinkPipeline {
 
   PipelineConfig cfg_;
   modulation::Constellation constellation_;
-  parallel::ThreadPool pool_;
+  std::unique_ptr<parallel::ThreadPool> owned_pool_;  // null iff shared
+  parallel::ThreadPool* pool_;                        // never null
   std::unique_ptr<detect::Detector> det_;
   core::FlexCoreDetector* flex_ = nullptr;  // non-null iff soft-capable
   bool channel_set_ = false;
@@ -180,6 +206,8 @@ class UplinkPipeline {
   // flat grid buffers and the per-worker scratch arenas.
   std::vector<std::unique_ptr<detect::Detector>> frame_dets_;
   std::size_t frame_ready_channels_ = 0;  // clones with installed channels
+  std::size_t frame_ready_rows_ = 0;      // geometry those installs used —
+  std::size_t frame_ready_cols_ = 0;      // reuse only on an exact match
   detect::FrameGridOutput frame_grid_;
   detect::WorkspaceBank workspaces_;
   std::vector<std::uint8_t> frame_fell_;

@@ -10,6 +10,7 @@ std::size_t default_thread_count() {
 
 ThreadPool::ThreadPool(std::size_t num_threads)
     : num_threads_(std::max<std::size_t>(1, num_threads)) {
+  active_.reserve(16);  // steady-state run_job must not allocate
   workers_.reserve(num_threads_ - 1);
   for (std::size_t i = 1; i < num_threads_; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -21,53 +22,52 @@ ThreadPool::~ThreadPool() {
     std::lock_guard lock(mu_);
     shutdown_ = true;
   }
-  start_cv_.notify_all();
+  work_cv_.notify_all();
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::run_chunks(std::size_t worker) {
-  // Caller-side variant: the job fields are owned by this thread.
+void ThreadPool::run_chunks(JobState& job, std::size_t worker) {
   for (;;) {
-    const std::size_t begin = next_.fetch_add(chunk_, std::memory_order_relaxed);
-    if (begin >= n_) break;
-    const std::size_t end = std::min(begin + chunk_, n_);
-    job_(ctx_, worker, begin, end);
-    completed_.fetch_add(end - begin, std::memory_order_acq_rel);
+    const std::size_t begin =
+        job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (begin >= job.n) return;
+    const std::size_t end = std::min(begin + job.chunk, job.n);
+    job.fn(job.ctx, worker, begin, end);
+    // acq_rel: the submitter's acquire load of `completed` must see every
+    // side effect of the chunk bodies.
+    job.completed.fetch_add(end - begin, std::memory_order_acq_rel);
   }
 }
 
 void ThreadPool::worker_loop(std::size_t worker) {
-  std::uint64_t seen = 0;
+  std::unique_lock lock(mu_);
   for (;;) {
-    // Snapshot the job under the mutex: run_job writes job fields under the
-    // same mutex and never reuses them until active_ drains, so the
-    // snapshot is always coherent.
-    RawJob job;
-    void* ctx;
-    std::size_t n, chunk;
-    {
-      std::unique_lock lock(mu_);
-      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    // Scan the active list: prune fully-claimed jobs, grab the first one
+    // with unclaimed chunks.  Several jobs can be live at once; workers
+    // drain them in submission order, submitters each wait on their own.
+    JobState* job = nullptr;
+    for (auto it = active_.begin(); it != active_.end();) {
+      if ((*it)->next.load(std::memory_order_relaxed) >= (*it)->n) {
+        it = active_.erase(it);
+      } else {
+        job = *it;
+        break;
+      }
+    }
+    if (job == nullptr) {
       if (shutdown_) return;
-      seen = generation_;
-      job = job_;
-      ctx = ctx_;
-      n = n_;
-      chunk = chunk_;
-      active_.fetch_add(1, std::memory_order_acq_rel);
+      work_cv_.wait(lock);
+      continue;
     }
 
-    for (;;) {
-      const std::size_t begin = next_.fetch_add(chunk, std::memory_order_relaxed);
-      if (begin >= n) break;
-      const std::size_t end = std::min(begin + chunk, n);
-      job(ctx, worker, begin, end);
-      completed_.fetch_add(end - begin, std::memory_order_acq_rel);
-    }
-
-    active_.fetch_sub(1, std::memory_order_acq_rel);
-    if (completed_.load(std::memory_order_acquire) >= n) {
-      done_cv_.notify_one();
+    ++job->workers;  // pins the submitter's stack frame (see JobState)
+    lock.unlock();
+    run_chunks(*job, worker);
+    lock.lock();
+    --job->workers;
+    if (job->workers == 0 &&
+        job->completed.load(std::memory_order_acquire) >= job->n) {
+      done_cv_.notify_all();  // all submitters re-check their own job
     }
   }
 }
@@ -83,29 +83,24 @@ void ThreadPool::run_job(RawJob job, void* ctx, std::size_t n,
     job(ctx, 0, 0, n);
     return;
   }
-  // Drain stragglers from the previous job before mutating job state (a
-  // worker holds active_ while it may still read next_/completed_).
-  while (active_.load(std::memory_order_acquire) != 0) {
-    std::this_thread::yield();
-  }
+
+  JobState state(job, ctx, n, chunk);
   {
     std::lock_guard lock(mu_);
-    job_ = job;
-    ctx_ = ctx;
-    n_ = n;
-    chunk_ = chunk;
-    next_.store(0, std::memory_order_relaxed);
-    completed_.store(0, std::memory_order_relaxed);
-    ++generation_;
+    active_.push_back(&state);
   }
-  start_cv_.notify_all();
-  run_chunks(/*worker=*/0);  // caller participates
+  work_cv_.notify_all();
+  run_chunks(state, /*worker=*/0);  // caller participates in its own job
+
   std::unique_lock lock(mu_);
+  // `workers == 0` (not just completion) before unwinding: a worker that
+  // claimed nothing may still be inside run_chunks touching the counters.
   done_cv_.wait(lock, [&] {
-    return completed_.load(std::memory_order_acquire) >= n_;
+    return state.workers == 0 &&
+           state.completed.load(std::memory_order_acquire) >= state.n;
   });
-  job_ = nullptr;
-  ctx_ = nullptr;
+  active_.erase(std::remove(active_.begin(), active_.end(), &state),
+                active_.end());
 }
 
 }  // namespace flexcore::parallel

@@ -1,0 +1,62 @@
+// Synthetic frame workloads: random Rayleigh channels per subcarrier plus
+// random QAM transmissions over them, in the subcarrier-major FrameJob
+// layout — one frame of uplink detection work without a full coded link.
+// Shared by the frame/runtime test suites and the runtime benches so the
+// workload they measure and the workload the bit-identity tests verify can
+// never drift apart.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "api/uplink_pipeline.h"
+#include "channel/channel.h"
+#include "channel/rng.h"
+#include "linalg/matrix.h"
+#include "modulation/constellation.h"
+
+namespace flexcore::sim {
+
+/// One synthetic frame.  ys[f * nv + t] is OFDM symbol t of subcarrier f.
+struct SynthFrame {
+  std::vector<linalg::CMat> channels;
+  std::vector<linalg::CVec> ys;
+  std::size_t nv = 0;  ///< vectors (OFDM symbols) per channel
+};
+
+inline SynthFrame synth_frame(const modulation::Constellation& c,
+                              std::size_t nsc, std::size_t nv, std::size_t nr,
+                              std::size_t nt, double noise_var,
+                              std::uint64_t seed) {
+  channel::Rng rng(seed);
+  SynthFrame fr;
+  fr.nv = nv;
+  fr.channels.reserve(nsc);
+  for (std::size_t f = 0; f < nsc; ++f) {
+    fr.channels.push_back(channel::rayleigh_iid(nr, nt, rng));
+  }
+  linalg::CVec s(nt);
+  fr.ys.reserve(nsc * nv);
+  for (std::size_t f = 0; f < nsc; ++f) {
+    for (std::size_t t = 0; t < nv; ++t) {
+      for (std::size_t u = 0; u < nt; ++u) {
+        s[u] = c.point(static_cast<int>(
+            rng.uniform_int(static_cast<std::uint64_t>(c.order()))));
+      }
+      fr.ys.push_back(channel::transmit(fr.channels[f], s, noise_var, rng));
+    }
+  }
+  return fr;
+}
+
+/// The frame viewed as a FrameJob (spans BORROW fr — keep it alive).
+inline api::FrameJob frame_job_of(const SynthFrame& fr, double noise_var) {
+  api::FrameJob job;
+  job.channels = fr.channels;
+  job.ys = fr.ys;
+  job.vectors_per_channel = fr.nv;
+  job.noise_var = noise_var;
+  return job;
+}
+
+}  // namespace flexcore::sim

@@ -91,6 +91,35 @@ PacketOutcome UplinkPacketLink::run_packet(api::UplinkPipeline& pipe,
       trace, noise_var, rng);
 }
 
+PacketOutcome UplinkPacketLink::run_packet(api::Runtime& rt, api::Cell& cell,
+                                           const channel::ChannelTrace& trace,
+                                           double noise_var,
+                                           channel::Rng& rng) const {
+  if (cell.constellation().order() != cfg_.qam_order) {
+    throw std::invalid_argument(
+        "run_packet: cell constellation does not match LinkConfig.qam_order");
+  }
+  return run_packet_impl(
+      [&](std::span<const linalg::CMat> channels,
+          std::span<const linalg::CVec> ys, std::size_t nv) {
+        api::FrameJob job;
+        job.channels = channels;
+        job.ys = ys;
+        job.vectors_per_channel = nv;
+        job.noise_var = noise_var;
+        api::FrameTicket ticket = rt.submit(cell, job);
+        const api::TicketStatus status = ticket.wait();
+        if (status != api::TicketStatus::kDone) {
+          throw std::runtime_error(
+              std::string("run_packet: frame completed as ") +
+              api::to_string(status) +
+              (ticket.error().empty() ? "" : ": " + ticket.error()));
+        }
+        return ticket.take();
+      },
+      trace, noise_var, rng);
+}
+
 PacketOutcome UplinkPacketLink::run_packet_impl(
     const std::function<api::FrameResult(std::span<const linalg::CMat>,
                                          std::span<const linalg::CVec>,

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "api/runtime.h"
 #include "api/uplink_pipeline.h"
 #include "channel/rng.h"
 #include "channel/trace.h"
@@ -61,6 +62,17 @@ class UplinkPacketLink {
   /// + a single subcarrier x vector x path grid), and the facade's
   /// lifecycle counters see every channel and vector.
   PacketOutcome run_packet(api::UplinkPipeline& pipe,
+                           const channel::ChannelTrace& trace,
+                           double noise_var, channel::Rng& rng) const;
+
+  /// Same, but through the asynchronous multi-cell runtime: the frame is
+  /// submitted to `cell` as one job and awaited.  Results are bit-identical
+  /// to the pipeline overload (the runtime serializes each cell).  Several
+  /// threads can run packets on DIFFERENT cells of one runtime
+  /// concurrently — the multi-cell serving shape of fig15.  Throws
+  /// std::runtime_error when the ticket completes without a result
+  /// (dropped/expired under a saturated queue).
+  PacketOutcome run_packet(api::Runtime& rt, api::Cell& cell,
                            const channel::ChannelTrace& trace,
                            double noise_var, channel::Rng& rng) const;
 

@@ -47,8 +47,9 @@ std::vector<CVec> random_batch(const Constellation& c, const CMat& h,
 TEST(Registry, EveryCanonicalNameRoundTrips) {
   Constellation c(64);
   const fa::DetectorConfig cfg{.constellation = &c};
-  const auto names = fa::DetectorRegistry::global().canonical_names();
+  const auto names = fa::list_specs();
   ASSERT_FALSE(names.empty());
+  EXPECT_EQ(names, fa::DetectorRegistry::global().canonical_names());
   for (const std::string& name : names) {
     const auto det = fa::make_detector(name, cfg);
     ASSERT_NE(det, nullptr) << name;
@@ -100,8 +101,15 @@ TEST(Registry, UnknownNameThrowsListingFamilies) {
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     const std::string msg = e.what();
-    EXPECT_NE(msg.find("no-such-detector"), std::string::npos);
-    EXPECT_NE(msg.find("flexcore"), std::string::npos);
+    EXPECT_NE(msg.find("no detector \"no-such-detector\""), std::string::npos);
+    // The message lists every registered spec family after "known:".
+    const auto known = msg.find("known:");
+    ASSERT_NE(known, std::string::npos);
+    for (const char* family :
+         {"flexcore", "a-flexcore", "fcsd-L", "kbest", "akbest", "zf", "mmse",
+          "zf-sic", "trellis50", "ml-sd"}) {
+      EXPECT_NE(msg.find(family, known), std::string::npos) << family;
+    }
   }
 }
 

@@ -14,6 +14,7 @@
 #include "core/flexcore_detector.h"
 #include "detect/fcsd.h"
 #include "detect/path_grid.h"
+#include "frame_fixtures.h"
 #include "parallel/thread_pool.h"
 
 namespace fa = flexcore::api;
@@ -65,45 +66,10 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
 
 namespace {
 
-/// One frame of channels + random transmissions, subcarrier-major.
-struct Frame {
-  std::vector<CMat> channels;
-  std::vector<CVec> ys;
-  std::size_t nv = 0;
-};
-
-Frame make_frame(const Constellation& c, std::size_t nsc, std::size_t nv,
-                 std::size_t nr, std::size_t nt, double noise_var,
-                 std::uint64_t seed) {
-  ch::Rng rng(seed);
-  Frame fr;
-  fr.nv = nv;
-  fr.channels.reserve(nsc);
-  for (std::size_t f = 0; f < nsc; ++f) {
-    fr.channels.push_back(ch::rayleigh_iid(nr, nt, rng));
-  }
-  CVec s(nt);
-  fr.ys.reserve(nsc * nv);
-  for (std::size_t f = 0; f < nsc; ++f) {
-    for (std::size_t t = 0; t < nv; ++t) {
-      for (std::size_t u = 0; u < nt; ++u) {
-        s[u] = c.point(static_cast<int>(
-            rng.uniform_int(static_cast<std::uint64_t>(c.order()))));
-      }
-      fr.ys.push_back(ch::transmit(fr.channels[f], s, noise_var, rng));
-    }
-  }
-  return fr;
-}
-
-fa::FrameJob job_of(const Frame& fr, double noise_var) {
-  fa::FrameJob job;
-  job.channels = fr.channels;
-  job.ys = fr.ys;
-  job.vectors_per_channel = fr.nv;
-  job.noise_var = noise_var;
-  return job;
-}
+using flexcore::testing::expect_bit_identical;
+using flexcore::testing::Frame;
+using flexcore::testing::job_of;
+using flexcore::testing::make_frame;
 
 /// Reference: the sequential per-subcarrier set_channel + detect lifecycle
 /// on a fresh registry-constructed detector.
@@ -120,15 +86,6 @@ std::vector<fd::DetectionResult> sequential_reference(
     }
   }
   return out;
-}
-
-void expect_bit_identical(const std::vector<fd::DetectionResult>& got,
-                          const std::vector<fd::DetectionResult>& want) {
-  ASSERT_EQ(got.size(), want.size());
-  for (std::size_t v = 0; v < got.size(); ++v) {
-    EXPECT_EQ(got[v].symbols, want[v].symbols) << "vector " << v;
-    EXPECT_DOUBLE_EQ(got[v].metric, want[v].metric) << "vector " << v;
-  }
 }
 
 // ------------------------------------------------------------ detect_frame
@@ -307,6 +264,65 @@ TEST(Frame, MalformedJobsThrow) {
   Frame ragged = fr;
   ragged.channels[1] = CMat(5, 4);  // shape mismatch
   EXPECT_THROW(pipe.detect_frame(job_of(ragged, 0.05)), std::invalid_argument);
+
+  // Degenerate (zero-dimension) channel matrices.
+  Frame empty_h = fr;
+  empty_h.channels.assign(2, CMat(0, 0));
+  EXPECT_THROW(pipe.detect_frame(job_of(empty_h, 0.05)),
+               std::invalid_argument);
+
+  // A received vector whose length disagrees with the channel row count
+  // (mismatched per-subcarrier batch contents).
+  Frame bad_y = fr;
+  bad_y.ys[3] = CVec(7);
+  EXPECT_THROW(pipe.detect_frame(job_of(bad_y, 0.05)), std::invalid_argument);
+
+  // Empty ys with a nonzero vector count promises 6 vectors but carries 0.
+  fa::FrameJob empty_ys = job_of(fr, 0.05);
+  empty_ys.ys = {};
+  EXPECT_THROW(pipe.detect_frame(empty_ys), std::invalid_argument);
+
+  // api::validate_frame_job is the same guard, callable without running
+  // (the runtime validates at submit time through it).
+  EXPECT_THROW(fa::validate_frame_job(bad_count), std::invalid_argument);
+  EXPECT_NO_THROW(fa::validate_frame_job(job_of(fr, 0.05)));
+  EXPECT_NO_THROW(fa::validate_frame_job(fa::FrameJob{}));
+
+  // Nothing above reached the grid or the counters.
+  EXPECT_EQ(pipe.vectors_detected(), 0u);
+  EXPECT_EQ(pipe.channel_installs(), 0u);
+}
+
+TEST(Frame, SharedPoolPipelinesMatchOwnedPoolPipelines) {
+  // Two pipelines multiplexing ONE shared pool (the runtime's layout)
+  // produce the same frames as pipelines owning their pools.
+  flexcore::parallel::ThreadPool shared(3);
+  const double nv = ch::noise_var_for_snr_db(12.0);
+  Constellation c(16);
+  const Frame fr_a = make_frame(c, 6, 3, 4, 4, nv, 35);
+  const Frame fr_b = make_frame(c, 4, 2, 4, 4, nv, 36);
+
+  fa::PipelineConfig shared_cfg;
+  shared_cfg.detector = "flexcore-8";
+  shared_cfg.qam_order = 16;
+  shared_cfg.shared_pool = &shared;
+  fa::UplinkPipeline pa(shared_cfg), pb(shared_cfg);
+  EXPECT_TRUE(pa.uses_shared_pool());
+  EXPECT_EQ(&pa.pool(), &shared);
+  EXPECT_EQ(&pb.pool(), &shared);
+
+  fa::PipelineConfig owned_cfg = shared_cfg;
+  owned_cfg.shared_pool = nullptr;
+  owned_cfg.threads = 3;
+  fa::UplinkPipeline ref(owned_cfg);
+  EXPECT_FALSE(ref.uses_shared_pool());
+
+  const fa::FrameResult ra = pa.detect_frame(job_of(fr_a, nv));
+  const fa::FrameResult rb = pb.detect_frame(job_of(fr_b, nv));
+  expect_bit_identical(ra.results,
+                       ref.detect_frame(job_of(fr_a, nv)).results);
+  expect_bit_identical(rb.results,
+                       ref.detect_frame(job_of(fr_b, nv)).results);
 }
 
 TEST(Frame, CountersAggregateAcrossFrames) {
@@ -357,6 +373,17 @@ TEST(Frame, ReusePreprocessingSkipsInstallsAndMatches) {
   expect_bit_identical(out.results,
                        sequential_reference("flexcore-12", pipe.constellation(),
                                             other, nv));
+
+  // So does a different antenna geometry at the SAME count: reusing 6x6 QR
+  // state for a 4x4 frame would walk garbage.
+  const Frame geom = make_frame(pipe.constellation(), 4, 4, 4, 4, nv, 37);
+  fa::FrameJob regeom = job_of(geom, nv);
+  regeom.reuse_preprocessing = true;
+  const fa::FrameResult gout = pipe.detect_frame(regeom);
+  EXPECT_EQ(gout.channels_installed, 4u) << "geometry change must reinstall";
+  expect_bit_identical(gout.results,
+                       sequential_reference("flexcore-12", pipe.constellation(),
+                                            geom, nv));
 }
 
 // --------------------------------------------------------- zero-allocation

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "parallel/thread_pool.h"
@@ -106,6 +107,67 @@ TEST(ThreadPool, ChunkOverloadCoversRangeOncePerIndex) {
       EXPECT_LE(calls.load(), (n + 63) / 64);
     }
   }
+}
+
+TEST(ThreadPool, ConcurrentJobsFromMultipleSubmitters) {
+  // The multi-cell runtime shape: several external threads each submit
+  // independent task grids to ONE pool.  Every job must see all its own
+  // iterations exactly once, regardless of how workers interleave chunks
+  // of different jobs.
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    fp::ThreadPool pool(threads);
+    constexpr std::size_t kSubmitters = 4;
+    constexpr std::size_t kRounds = 25;
+    const std::size_t n = 1237;  // prime, ragged chunks
+    std::vector<std::atomic<std::size_t>> sums(kSubmitters);
+    std::vector<std::thread> submitters;
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+      submitters.emplace_back([&, s] {
+        for (std::size_t round = 0; round < kRounds; ++round) {
+          std::vector<std::atomic<int>> hits(n);
+          pool.parallel_for(n, [&](std::size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+          });
+          // run_job returned: the grid must be complete, immediately.
+          for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(hits[i].load(), 1)
+                << "submitter " << s << " round " << round << " i " << i;
+          }
+          sums[s].fetch_add(n, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : submitters) t.join();
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+      EXPECT_EQ(sums[s].load(), kRounds * n) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, ConcurrentWorkerIndexExclusivePerJob) {
+  // Worker indices are exclusive WITHIN one job even when jobs overlap:
+  // two submitters may both be worker 0 of their own grids, but inside a
+  // single job no index runs two iterations at once.
+  fp::ThreadPool pool(3);
+  constexpr std::size_t kSubmitters = 3;
+  std::atomic<bool> overlap{false};
+  std::vector<std::thread> submitters;
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        std::vector<std::atomic<int>> in_flight(pool.size());
+        pool.parallel_for_worker(801, [&](std::size_t w, std::size_t) {
+          ASSERT_LT(w, pool.size());
+          if (in_flight[w].fetch_add(1, std::memory_order_acq_rel) != 0) {
+            overlap.store(true, std::memory_order_relaxed);
+          }
+          in_flight[w].fetch_sub(1, std::memory_order_acq_rel);
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_FALSE(overlap.load());
 }
 
 TEST(ThreadPool, ParallelSumMatchesSequential) {
