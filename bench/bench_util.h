@@ -13,11 +13,35 @@
 #include <string>
 #include <vector>
 
+#include "api/runtime.h"
 #include "api/uplink_pipeline.h"
+#include "bench_json.h"
 #include "channel/rng.h"
 #include "channel/trace.h"
 
 namespace flexcore::bench {
+
+/// Appends the full latency distribution of a RuntimeStats snapshot to the
+/// current BenchJson row: one "lat_us_le_<edge>" field per histogram
+/// bucket (the last, open-ended bucket is "lat_us_inf"), plus the sample
+/// count.  Keys are emitted for every bucket — zeros included — so the
+/// row schema is stable across runs and diffs cleanly.
+inline void append_latency_buckets(BenchJson& json,
+                                   const api::RuntimeStats& rs) {
+  json.field("lat_count", rs.latency_count);
+  for (std::size_t i = 0; i < api::LatencyHistogram::kBuckets; ++i) {
+    std::string key;
+    if (i + 1 < api::LatencyHistogram::kBuckets) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "lat_us_le_%.0f",
+                    api::LatencyHistogram::upper_edge_us(i));
+      key = buf;
+    } else {
+      key = "lat_us_inf";
+    }
+    json.field(key.c_str(), rs.latency_buckets[i]);
+  }
+}
 
 /// Integer environment knob with default.
 inline std::size_t env_size(const char* name, std::size_t def) {

@@ -132,7 +132,11 @@ int main() {
             .field("frames_dropped", r.stats.frames_dropped)
             .field("frames_expired", r.stats.frames_expired)
             .field("latency_p50_us", r.stats.latency_p50_us)
-            .field("latency_p99_us", r.stats.latency_p99_us);
+            .field("latency_p99_us", r.stats.latency_p99_us)
+            .field("latency_mean_us", r.stats.latency_mean_us);
+        // Full distribution, not just the two quantiles: one field per
+        // power-of-two histogram bucket.
+        fb::append_latency_buckets(json, r.stats);
       }
     }
   }

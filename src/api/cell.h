@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "api/uplink_pipeline.h"
@@ -46,13 +47,33 @@ struct CellConfig {
   bool reuse_preprocessing = false;
 };
 
+/// An atomic detector swap for a live cell, applied by Runtime::reconfigure
+/// in FIFO position: every frame submitted before it is detected with the
+/// old spec, every frame after with the new one.  The constellation and
+/// antenna geometry are NOT reconfigurable — a cell's QAM order is part of
+/// its air interface, not its compute budget; open a new cell for that.
+struct CellReconfig {
+  /// Registry spec to switch to ("flexcore-32", "zf-sic", ...).
+  std::string detector;
+  /// When set, replaces the cell's detector tuning as well (the
+  /// constellation field is ignored, as everywhere in the api layer).
+  /// When unset, the swap keeps the tuning in effect when reconfigure was
+  /// CALLED — not when it applies — so a queued earlier tuning change can
+  /// never alter what this call validated.
+  std::optional<DetectorConfig> tuning;
+};
+
 /// Per-cell counter snapshot inside RuntimeStats.  Consistency invariant
 /// (checked by tests): frames_in == frames_out + frames_dropped +
 /// frames_expired + frames_failed + queue_depth + in-flight (0 or 1).
+/// Reconfigurations are control messages, not frames: they appear only in
+/// `reconfigs` and never in the frame counters or queue_depth.
 struct CellStats {
   std::size_t cell_id = 0;
   std::string name;
+  /// The LIVE detector spec — reflects applied reconfigurations.
   std::string detector;
+  std::uint64_t reconfigs = 0;       ///< reconfigurations applied
   std::uint64_t frames_in = 0;       ///< submit() calls (incl. dropped)
   std::uint64_t frames_out = 0;      ///< completed Done
   std::uint64_t frames_dropped = 0;  ///< rejected by DropNewest admission
@@ -88,10 +109,20 @@ class Cell {
 
   Cell(std::size_t id, const CellConfig& cfg, parallel::ThreadPool* pool);
 
-  /// One admitted frame waiting for dispatch.  Everything below is guarded
-  /// by the owning Runtime's mutex.
+  /// One admitted queue entry waiting for dispatch: a frame, or (when
+  /// `reconfig` is set) a detector swap holding the frame's FIFO slot.
+  /// Everything below is guarded by the owning Runtime's mutex.
   struct Pending {
     FrameJob job;
+    /// Control message: apply this spec instead of detecting.  Exempt from
+    /// admission capacity, deadlines and load shedding (deadline stays
+    /// time_point::max(), so expire_stale never touches it).  The tuning
+    /// is RESOLVED (always set) at enqueue time.
+    std::optional<CellReconfig> reconfig;
+    /// The swap's detector, constructed by Runtime::reconfigure at call
+    /// time (validation == the one construction, off the dispatch path);
+    /// adopted by the pipeline when the entry reaches the queue front.
+    std::unique_ptr<detect::Detector> prebuilt;
     std::shared_ptr<TicketState> ticket;
     std::chrono::steady_clock::time_point submitted;
     /// time_point::max() when the frame carries no deadline.
@@ -102,7 +133,8 @@ class Cell {
   CellConfig cfg_;
   UplinkPipeline pipe_;
   std::deque<Pending> queue_;
-  bool busy_ = false;       ///< a dispatcher is running this cell's frame
+  bool busy_ = false;       ///< a dispatcher is running this cell's entry
+  bool busy_reconfig_ = false;  ///< ... and that entry is a reconfig
   bool scheduled_ = false;  ///< busy_ or sitting in the runnable list
   bool warm_ = false;       ///< a frame has run; coherence reuse is valid
   std::uint64_t next_seq_ = 0;
@@ -111,6 +143,8 @@ class Cell {
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t frames_expired_ = 0;
   std::uint64_t frames_failed_ = 0;
+  std::uint64_t reconfigs_ = 0;        ///< reconfigurations applied
+  std::size_t queued_reconfigs_ = 0;   ///< reconfig entries in queue_
 };
 
 }  // namespace flexcore::api

@@ -294,6 +294,57 @@ FrameTicket Runtime::submit(Cell& cell, const FrameJob& job,
   return FrameTicket(std::move(st));
 }
 
+FrameTicket Runtime::reconfigure(Cell& cell, const CellReconfig& rc) {
+  if (rc.detector.empty()) {
+    throw std::invalid_argument("Runtime::reconfigure: empty detector spec");
+  }
+  // Resolve the effective tuning at CALL time (cfg_.tuning is
+  // runtime-guarded state), so a queued earlier tuning change can never
+  // alter what this call validated.
+  DetectorConfig tuning;
+  {
+    std::lock_guard lock(mu_);
+    if (shutdown_) {
+      throw std::logic_error("Runtime::reconfigure: runtime is shutting down");
+    }
+    tuning = rc.tuning ? *rc.tuning : cell.cfg_.tuning;
+  }
+  // Build the swap's detector HERE, outside the lock: construction is the
+  // validation (a typo throws at the call site), the apply step merely
+  // adopts the finished object, and dispatchers never stall behind a
+  // control-plane build.
+  DetectorConfig dcfg = tuning;
+  dcfg.constellation = &cell.constellation();
+  std::unique_ptr<detect::Detector> prebuilt = make_detector(rc.detector, dcfg);
+
+  auto st = std::make_shared<TicketState>();
+  st->cell_id = cell.id_;
+
+  std::unique_lock lock(mu_);
+  if (shutdown_) {
+    throw std::logic_error("Runtime::reconfigure: runtime is shutting down");
+  }
+  // FIFO slot: same sequence counter as frames, so ordering is provable
+  // from tickets alone.  No capacity check — control messages must get
+  // through exactly when the data plane is saturated.
+  st->seq = cell.next_seq_++;
+  Cell::Pending pf;
+  pf.reconfig = CellReconfig{rc.detector, tuning};
+  pf.prebuilt = std::move(prebuilt);
+  pf.ticket = st;
+  pf.submitted = Clock::now();
+  pf.deadline = Clock::time_point::max();
+  cell.queue_.push_back(std::move(pf));
+  ++cell.queued_reconfigs_;
+  ++queued_reconfigs_;
+  if (!cell.scheduled_) {
+    cell.scheduled_ = true;
+    runnable_.push_back(&cell);
+    runnable_cv_.notify_one();
+  }
+  return FrameTicket(std::move(st));
+}
+
 Clock::time_point Runtime::earliest_deadline_locked() const {
   auto earliest = Clock::time_point::max();
   for (const auto& cell : cells_) {
@@ -343,6 +394,10 @@ void Runtime::process_next(std::unique_lock<std::mutex>& lock) {
   cell->busy_ = true;  // scheduled_ stays true while busy
   Cell::Pending pf = std::move(cell->queue_.front());
   cell->queue_.pop_front();
+  if (pf.reconfig) {
+    apply_reconfig(lock, cell, pf);
+    return;
+  }
   --queued_total_;
   ++in_flight_;
   space_cv_.notify_one();
@@ -395,6 +450,51 @@ void Runtime::process_next(std::unique_lock<std::mutex>& lock) {
     case TicketStatus::kFailed: ++cell->frames_failed_; break;
     default: break;
   }
+  --in_flight_;
+  release_cell_locked(cell);
+}
+
+void Runtime::apply_reconfig(std::unique_lock<std::mutex>& lock, Cell* cell,
+                             Cell::Pending& pf) {
+  --cell->queued_reconfigs_;
+  --queued_reconfigs_;
+  ++in_flight_reconfigs_;
+  cell->busy_reconfig_ = true;
+  const CellReconfig rc = std::move(*pf.reconfig);
+  std::unique_ptr<detect::Detector> prebuilt = std::move(pf.prebuilt);
+  // The swap runs unlocked — the cell is serialized by busy_, so the
+  // pipeline is exclusively ours, and other cells keep dispatching.  The
+  // detector was built (and thereby validated) at reconfigure() time with
+  // the tuning carried in the entry; adoption cannot fail.
+  lock.unlock();
+
+  TicketStatus status = TicketStatus::kDone;
+  std::string error;
+  try {
+    cell->pipe_.adopt_detector(std::move(prebuilt), rc.detector, *rc.tuning);
+  } catch (const std::exception& e) {
+    status = TicketStatus::kFailed;  // defensive; adoption does not throw
+    error = e.what();
+  }
+  // Same FIFO-callback contract as frames: the cell is not released (so
+  // its next frame cannot start) until the ticket's callbacks returned.
+  complete_ticket(*pf.ticket, status, FrameResult{}, std::move(error));
+
+  lock.lock();
+  if (status == TicketStatus::kDone) {
+    cell->cfg_.detector = rc.detector;
+    if (rc.tuning) cell->cfg_.tuning = *rc.tuning;
+    // The swapped detector has no preprocessing caches: the next frame
+    // re-preprocesses even under the cell's coherence policy.
+    cell->warm_ = false;
+    ++cell->reconfigs_;
+  }
+  cell->busy_reconfig_ = false;
+  --in_flight_reconfigs_;
+  release_cell_locked(cell);
+}
+
+void Runtime::release_cell_locked(Cell* cell) {
   cell->busy_ = false;
   if (!cell->queue_.empty()) {
     runnable_.push_back(cell);  // round-robin across cells
@@ -402,7 +502,6 @@ void Runtime::process_next(std::unique_lock<std::mutex>& lock) {
   } else {
     cell->scheduled_ = false;
   }
-  --in_flight_;
   drain_cv_.notify_all();
 }
 
@@ -427,6 +526,10 @@ void Runtime::dispatcher_loop() {
 }
 
 void Runtime::drain() {
+  const auto idle = [&] {
+    return queued_total_ == 0 && queued_reconfigs_ == 0 &&
+           in_flight_ == 0 && in_flight_reconfigs_ == 0;
+  };
   if (cfg_.dispatchers == 0) {
     // Poll mode: pump the queue on this thread; if another thread is
     // mid-frame, wait for its completion notification and re-check.
@@ -434,13 +537,12 @@ void Runtime::drain() {
       while (run_one()) {
       }
       std::unique_lock lock(mu_);
-      if (queued_total_ == 0 && in_flight_ == 0) return;
+      if (idle()) return;
       drain_cv_.wait(lock);
     }
   }
   std::unique_lock lock(mu_);
-  drain_cv_.wait(lock,
-                 [&] { return queued_total_ == 0 && in_flight_ == 0; });
+  drain_cv_.wait(lock, idle);
 }
 
 RuntimeStats Runtime::stats() const {
@@ -457,13 +559,17 @@ RuntimeStats Runtime::stats() const {
     cs.frames_dropped = cell->frames_dropped_;
     cs.frames_expired = cell->frames_expired_;
     cs.frames_failed = cell->frames_failed_;
-    cs.queue_depth = cell->queue_.size();
-    cs.in_flight = cell->busy_ ? 1 : 0;
+    cs.reconfigs = cell->reconfigs_;
+    // Control messages are not frames: queue_depth/in_flight stay
+    // frame-only so the stats invariant holds across reconfigurations.
+    cs.queue_depth = cell->queue_.size() - cell->queued_reconfigs_;
+    cs.in_flight = (cell->busy_ && !cell->busy_reconfig_) ? 1 : 0;
     out.frames_in += cs.frames_in;
     out.frames_out += cs.frames_out;
     out.frames_dropped += cs.frames_dropped;
     out.frames_expired += cs.frames_expired;
     out.frames_failed += cs.frames_failed;
+    out.reconfigs += cs.reconfigs;
     out.cells.push_back(std::move(cs));
   }
   out.queue_depth = queued_total_;
@@ -472,6 +578,7 @@ RuntimeStats Runtime::stats() const {
   out.latency_mean_us = latency_.mean_us();
   out.latency_p50_us = latency_.quantile_us(0.50);
   out.latency_p99_us = latency_.quantile_us(0.99);
+  out.latency_buckets = latency_.buckets();
   return out;
 }
 

@@ -179,6 +179,7 @@ struct RuntimeStats {
   std::uint64_t frames_dropped = 0;
   std::uint64_t frames_expired = 0;
   std::uint64_t frames_failed = 0;
+  std::uint64_t reconfigs = 0;  ///< reconfigurations applied, all cells
   std::size_t queue_depth = 0;  ///< queued across all cells (not in flight)
   std::size_t in_flight = 0;    ///< frames currently being detected
   /// submit -> completion latency of kDone frames (queue wait included).
@@ -186,6 +187,10 @@ struct RuntimeStats {
   double latency_mean_us = 0.0;
   double latency_p50_us = 0.0;
   double latency_p99_us = 0.0;
+  /// The full latency distribution: bucket i counts frames in
+  /// [LatencyHistogram::upper_edge_us(i-1), upper_edge_us(i)) — see
+  /// LatencyHistogram for the exact edges.  Sums to latency_count.
+  std::array<std::uint64_t, LatencyHistogram::kBuckets> latency_buckets{};
 };
 
 /// Future-like handle to one submitted frame.  Cheap to copy (shared
@@ -254,8 +259,9 @@ class FrameTicket {
   std::shared_ptr<TicketState> st_;
 };
 
-/// The asynchronous multi-cell runtime.  Thread-safe: submit/stats/drain
-/// may be called from any thread; open_cell must not race with submit.
+/// The asynchronous multi-cell runtime.  Thread-safe:
+/// submit/reconfigure/stats/drain may be called from any thread; open_cell
+/// must not race with submit.
 class Runtime {
  public:
   explicit Runtime(const RuntimeConfig& cfg = {});
@@ -279,6 +285,25 @@ class Runtime {
   FrameTicket submit(Cell& cell, const FrameJob& job,
                      std::uint64_t deadline_us = 0);
 
+  /// Enqueues an atomic detector swap for the cell, in FIFO position:
+  /// every frame submitted before this call is detected with the old spec,
+  /// every frame submitted after with the new one — on any dispatcher
+  /// count, bit-deterministically.  The swap's detector is BUILT by this
+  /// call (off the dispatch path, outside the runtime lock) — construction
+  /// is the validation (std::invalid_argument on unknown/invalid specs,
+  /// std::logic_error after shutdown began), and an unset rc.tuning
+  /// resolves to the tuning in effect NOW, not at apply time, so queued
+  /// earlier tuning changes cannot alter what was validated.  The finished
+  /// detector is adopted by the dispatch machinery once the cell's earlier
+  /// frames completed, and the returned ticket completes kDone (empty
+  /// FrameResult) at that moment.
+  /// Reconfigurations are control messages: they bypass the admission
+  /// capacity and every shedding policy (never dropped, never expired), do
+  /// not count as frames in RuntimeStats, and reset the cell's coherence
+  /// warmup (the first frame after a swap re-preprocesses even under
+  /// reuse_preprocessing).
+  FrameTicket reconfigure(Cell& cell, const CellReconfig& rc);
+
   /// Manual pump: dispatches ONE queued frame on the calling thread
   /// (detection runs here, its grid still fans across the shared pool).
   /// Returns false when nothing is queued.  This is the poll-mode driver
@@ -297,9 +322,16 @@ class Runtime {
 
  private:
   void dispatcher_loop();
-  /// Pops the next runnable cell's front frame and runs/expires it.
-  /// Pre: lock held, runnable_ non-empty.  Unlocks while detecting.
+  /// Pops the next runnable cell's front entry and runs/expires/applies
+  /// it.  Pre: lock held, runnable_ non-empty.  Unlocks while detecting.
   void process_next(std::unique_lock<std::mutex>& lock);
+  /// Applies a popped reconfig entry (cell already marked busy).  Unlocks
+  /// while swapping the detector; returns with the lock held again.
+  void apply_reconfig(std::unique_lock<std::mutex>& lock, Cell* cell,
+                      Cell::Pending& pf);
+  /// Releases a busy cell after its entry completed: requeues it when more
+  /// entries wait, wakes drain() waiters.  Pre: lock held.
+  void release_cell_locked(Cell* cell);
   /// Earliest deadline among all queued frames (time_point::max() when
   /// none is armed).  Pre: lock held.
   std::chrono::steady_clock::time_point earliest_deadline_locked() const;
@@ -316,9 +348,11 @@ class Runtime {
   std::condition_variable space_cv_;         ///< blocked submitters
   mutable std::condition_variable drain_cv_; ///< drain() waiters
   std::vector<std::unique_ptr<Cell>> cells_;
-  std::deque<Cell*> runnable_;  ///< cells with queued frames, none in flight
-  std::size_t queued_total_ = 0;
-  std::size_t in_flight_ = 0;
+  std::deque<Cell*> runnable_;  ///< cells with queued entries, none in flight
+  std::size_t queued_total_ = 0;      ///< queued FRAMES (capacity bound)
+  std::size_t queued_reconfigs_ = 0;  ///< queued reconfigs (uncapped)
+  std::size_t in_flight_ = 0;         ///< frames being detected
+  std::size_t in_flight_reconfigs_ = 0;  ///< reconfigs being applied
   bool shutdown_ = false;
   LatencyHistogram latency_;
 

@@ -30,24 +30,41 @@ void fold_batch_into_frame(detect::BatchResult& batch, std::size_t offset,
 
 void validate_frame_job(const FrameJob& job) {
   const std::size_t nsc = job.channels.size();
-  if (job.ys.size() != nsc * job.vectors_per_channel) {
+  const std::size_t nv = job.vectors_per_channel;
+  if (job.ys.size() != nsc * nv) {
     throw std::invalid_argument(
-        "FrameJob: ys.size() != channels.size() * vectors_per_channel");
+        "FrameJob: ys.size() = " + std::to_string(job.ys.size()) +
+        " != channels.size() * vectors_per_channel = " +
+        std::to_string(nsc) + " * " + std::to_string(nv) + " = " +
+        std::to_string(nsc * nv));
   }
   if (nsc == 0) return;
   const linalg::CMat& front = job.channels.front();
   if (front.rows() == 0 || front.cols() == 0) {
-    throw std::invalid_argument("FrameJob: empty channel matrix");
+    throw std::invalid_argument(
+        "FrameJob: channel of subcarrier 0 is empty (" +
+        std::to_string(front.rows()) + "x" + std::to_string(front.cols()) +
+        ")");
   }
-  for (const linalg::CMat& h : job.channels) {
+  for (std::size_t f = 0; f < nsc; ++f) {
+    const linalg::CMat& h = job.channels[f];
     if (!h.same_shape(front)) {
-      throw std::invalid_argument("FrameJob: channels must share dimensions");
+      throw std::invalid_argument(
+          "FrameJob: channel of subcarrier " + std::to_string(f) + " is " +
+          std::to_string(h.rows()) + "x" + std::to_string(h.cols()) +
+          ", subcarrier 0 is " + std::to_string(front.rows()) + "x" +
+          std::to_string(front.cols()) + " (channels must share dimensions)");
     }
   }
-  for (const linalg::CVec& y : job.ys) {
-    if (y.size() != front.rows()) {
+  for (std::size_t i = 0; i < job.ys.size(); ++i) {
+    if (job.ys[i].size() != front.rows()) {
+      // ys is subcarrier-major: name the offending (subcarrier, symbol)
+      // so degenerate jobs point straight at the bad vector.
       throw std::invalid_argument(
-          "FrameJob: received vector length != channel rows");
+          "FrameJob: ys[" + std::to_string(i) + "] (subcarrier " +
+          std::to_string(i / nv) + ", symbol " + std::to_string(i % nv) +
+          ") has length " + std::to_string(job.ys[i].size()) +
+          " != channel rows " + std::to_string(front.rows()));
     }
   }
 }
@@ -97,6 +114,34 @@ detect::DetectionResult UplinkPipeline::detect_one(const linalg::CVec& y) {
   ++vectors_detected_;
   total_stats_ += res.stats;
   return res;
+}
+
+void UplinkPipeline::reconfigure(const std::string& detector_spec) {
+  reconfigure(detector_spec, cfg_.tuning);
+}
+
+void UplinkPipeline::reconfigure(const std::string& detector_spec,
+                                 const DetectorConfig& tuning) {
+  DetectorConfig dcfg = tuning;
+  dcfg.constellation = &constellation_;
+  // Build first, mutate second: a bad spec/tuning throws here and the
+  // session keeps its old detector untouched.
+  adopt_detector(make_detector(detector_spec, dcfg), detector_spec, tuning);
+}
+
+void UplinkPipeline::adopt_detector(std::unique_ptr<detect::Detector> det,
+                                    const std::string& detector_spec,
+                                    const DetectorConfig& tuning) {
+  det->set_thread_pool(pool_);
+  det_ = std::move(det);
+  flex_ = dynamic_cast<core::FlexCoreDetector*>(det_.get());
+  cfg_.detector = detector_spec;
+  cfg_.tuning = tuning;
+  channel_set_ = false;
+  frame_dets_.clear();
+  frame_ready_channels_ = 0;
+  frame_ready_rows_ = 0;
+  frame_ready_cols_ = 0;
 }
 
 void UplinkPipeline::ensure_frame_detectors(std::size_t count) {

@@ -158,6 +158,30 @@ class UplinkPipeline {
   /// detect_batch after the parallel preprocessing.
   FrameResult detect_frame(const FrameJob& job);
 
+  /// Swaps the session's detector for `detector_spec` (same constellation
+  /// and pool), atomically from the caller's perspective: the new detector
+  /// is fully constructed before any state changes, so a throwing spec
+  /// leaves the pipeline exactly as it was (strong guarantee).  Resets the
+  /// per-channel state (set_channel must run again) and the frame-job
+  /// caches (the next detect_frame re-preprocesses even under
+  /// reuse_preprocessing).  Lifecycle counters survive — it is the same
+  /// session, reconfigured.  The overload taking a DetectorConfig also
+  /// replaces the tuning (its constellation field is ignored, as at
+  /// construction).  Not thread-safe against concurrent detect calls: the
+  /// caller serializes, as with everything else on a pipeline —
+  /// api::Runtime::reconfigure is the FIFO-safe wrapper.
+  void reconfigure(const std::string& detector_spec);
+  void reconfigure(const std::string& detector_spec,
+                   const DetectorConfig& tuning);
+
+  /// Installs an already-constructed detector (the non-throwing tail of
+  /// reconfigure): `det` MUST have been built against constellation() with
+  /// the given spec/tuning — api::Runtime pre-builds swaps off the
+  /// dispatch path and adopts them here at the FIFO boundary.
+  void adopt_detector(std::unique_ptr<detect::Detector> det,
+                      const std::string& detector_spec,
+                      const DetectorConfig& tuning);
+
   /// List-based max-log LLRs per vector (the soft-output extension).
   /// Only available when the configured detector supports soft output
   /// (currently the flexcore/a-flexcore families); throws

@@ -1,5 +1,7 @@
 #include "channel/estimation.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace flexcore::channel {
@@ -37,18 +39,22 @@ ChannelEstimate estimate_channel(const CMat& h, double noise_var,
     }
   }
 
-  // Noise estimate from residuals of a second sounding pass against the
-  // just-computed estimate (keeps the estimator self-contained; with
-  // repeats >= 2 one could reuse the first pass, but a dedicated pass
-  // avoids the bias bookkeeping).
-  for (std::size_t u = 0; u < nt; ++u) {
-    CVec s(nt, cplx{0.0, 0.0});
-    s[u] = kPilotSymbol;
-    const CVec y = transmit(h, s, noise_var, rng);
-    const CVec y_hat = est.h_hat * s;
-    for (std::size_t r = 0; r < nr; ++r) {
-      residual_power += linalg::abs2(y[r] - y_hat[r]);
-      ++residual_samples;
+  // Noise estimate from residuals of dedicated sounding passes against the
+  // just-computed estimate (self-contained: reusing the first pass would
+  // need extra bias bookkeeping).  `repeats` residual passes, so the noise
+  // estimate's variance shrinks with the pilot budget like the channel
+  // estimate's does — the SNR observable the control plane consumes
+  // inherits the full 1/repeats averaging.
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    for (std::size_t u = 0; u < nt; ++u) {
+      CVec s(nt, cplx{0.0, 0.0});
+      s[u] = kPilotSymbol;
+      const CVec y = transmit(h, s, noise_var, rng);
+      const CVec y_hat = est.h_hat * s;
+      for (std::size_t r = 0; r < nr; ++r) {
+        residual_power += linalg::abs2(y[r] - y_hat[r]);
+        ++residual_samples;
+      }
     }
   }
   // Residual variance = noise_var * (1 + 1/repeats): the estimate itself
@@ -56,6 +62,31 @@ ChannelEstimate estimate_channel(const CMat& h, double noise_var,
   const double raw = residual_power / static_cast<double>(residual_samples);
   est.noise_var_hat = raw / (1.0 + 1.0 / static_cast<double>(repeats));
   return est;
+}
+
+double estimated_snr_db(const ChannelEstimate& est) {
+  const std::size_t nr = est.h_hat.rows();
+  const std::size_t nt = est.h_hat.cols();
+  if (nr == 0 || nt == 0) {
+    throw std::invalid_argument("estimated_snr_db: empty estimate");
+  }
+  double fro2 = 0.0;
+  for (std::size_t r = 0; r < nr; ++r) {
+    for (std::size_t u = 0; u < nt; ++u) {
+      fro2 += linalg::abs2(est.h_hat(r, u));
+    }
+  }
+  // Each LS entry carries noise_var / repeats of estimation noise on top of
+  // the true coefficient; subtract that known bias from the measured power.
+  const std::size_t repeats = std::max<std::size_t>(1, est.pilots_used / nt);
+  const double mean_entry_power = fro2 / static_cast<double>(nr * nt);
+  const double signal_per_user =
+      mean_entry_power - est.noise_var_hat / static_cast<double>(repeats);
+  constexpr double kFloorDb = -30.0, kCeilDb = 60.0;
+  if (!(est.noise_var_hat > 0.0)) return kCeilDb;  // noiseless sounding
+  if (!(signal_per_user > 0.0)) return kFloorDb;   // bias ate the signal
+  const double snr_db = 10.0 * std::log10(signal_per_user / est.noise_var_hat);
+  return std::clamp(snr_db, kFloorDb, kCeilDb);
 }
 
 double estimation_mse(const CMat& h, const CMat& h_hat) {

@@ -45,4 +45,15 @@ ChannelEstimate estimate_channel(const CMat& h, double noise_var,
 /// (the usual estimator quality figure, ~ noise_var / repeats for LS).
 double estimation_mse(const CMat& h, const CMat& h_hat);
 
+/// Average per-USER SNR implied by a channel estimate — the control
+/// plane's primary observable (it has no access to the true H).  Per-user
+/// signal power is the mean |h|^2 over the estimate's entries (unit-energy
+/// symbols, so for the unit-variance channels of this repo it inverts
+/// channel::noise_var_for_snr_db), with the LS estimation-noise bias
+/// noise_var_hat / repeats removed per entry, over the estimated noise
+/// variance.  Clamped to [-30, 60] dB so degenerate estimates
+/// (noise_var_hat ~ 0, or bias exceeding the measured power) yield a sane
+/// extreme instead of inf/NaN.
+double estimated_snr_db(const ChannelEstimate& est);
+
 }  // namespace flexcore::channel

@@ -1,0 +1,95 @@
+#include "control/path_policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "channel/channel.h"
+#include "core/preprocessing.h"
+#include "modulation/error_rates.h"
+
+namespace flexcore::control {
+
+double nominal_level_pe(const modulation::Constellation& c, double snr_db) {
+  const double noise_var = channel::noise_var_for_snr_db(snr_db);
+  const double pe = modulation::level_error_probability(
+      modulation::PeModel::kExactSer, c, 1.0, noise_var);
+  return std::clamp(pe, 1e-12, 1.0 - 1e-12);
+}
+
+namespace {
+
+core::PreprocessingResult run_model(const modulation::Constellation& c,
+                                    std::size_t nt, double snr_db,
+                                    std::size_t num_paths,
+                                    double stop_threshold) {
+  if (nt == 0) {
+    throw std::invalid_argument("control: nt must be >= 1");
+  }
+  const std::vector<double> pe(nt, nominal_level_pe(c, snr_db));
+  core::PreprocessingConfig pcfg;
+  pcfg.num_paths = num_paths;
+  pcfg.stop_threshold = stop_threshold;
+  // An uncapped candidate list keeps the frontier exactly optimal, so the
+  // solved count is the true model minimum (the budget is tiny next to a
+  // detector's per-channel run; determinism matters more than the memory).
+  pcfg.candidate_list_cap = num_paths + nt;
+  return core::find_most_promising_paths(pe, c.order(), pcfg);
+}
+
+}  // namespace
+
+PathDecision solve_path_count(const modulation::Constellation& c,
+                              std::size_t nt, double snr_db,
+                              const PathPolicyConfig& cfg) {
+  if (cfg.min_paths == 0 || cfg.max_paths < cfg.min_paths) {
+    throw std::invalid_argument(
+        "solve_path_count: need 1 <= min_paths <= max_paths");
+  }
+  if (!(cfg.target_error > 0.0 && cfg.target_error < 1.0)) {
+    throw std::invalid_argument(
+        "solve_path_count: target_error must be in (0, 1)");
+  }
+  const double snr_eff = snr_db - cfg.snr_backoff_db;
+  const double coverage_goal = 1.0 - cfg.target_error;
+  const core::PreprocessingResult model =
+      run_model(c, nt, snr_eff, cfg.max_paths, coverage_goal);
+
+  PathDecision d;
+  d.pe = model.pe.front();
+  d.coverage = model.pc_sum;
+  d.feasible = model.pc_sum >= coverage_goal;
+  d.paths = std::clamp(model.paths.size(), cfg.min_paths, cfg.max_paths);
+  return d;
+}
+
+double model_coverage(const modulation::Constellation& c, std::size_t nt,
+                      double snr_db, std::size_t paths) {
+  if (paths == 0) return 0.0;
+  // stop_threshold 2.0: never stop early (total model mass is < 1).
+  return run_model(c, nt, snr_db, paths, 2.0).pc_sum;
+}
+
+std::string path_spec(const std::string& family,
+                      const modulation::Constellation& c, std::size_t paths) {
+  if (paths == 0) {
+    throw std::invalid_argument("path_spec: paths must be >= 1");
+  }
+  if (family == "flexcore" || family == "a-flexcore") {
+    return family + "-" + std::to_string(paths);
+  }
+  if (family == "fcsd") {
+    const std::size_t q = static_cast<std::size_t>(c.order());
+    std::size_t realized = q;
+    int level = 1;
+    while (realized < paths && level < 2) {
+      realized *= q;
+      ++level;
+    }
+    return "fcsd-L" + std::to_string(level);
+  }
+  throw std::invalid_argument("path_spec: unsupported family \"" + family +
+                              "\" (flexcore, a-flexcore, fcsd)");
+}
+
+}  // namespace flexcore::control

@@ -42,18 +42,26 @@ PreprocessingResult find_most_promising_paths(const linalg::CMat& r,
                                               double noise_var,
                                               const Constellation& c,
                                               const PreprocessingConfig& cfg) {
+  return find_most_promising_paths(
+      level_error_probabilities(r, noise_var, c, cfg.pe_model), c.order(),
+      cfg);
+}
+
+PreprocessingResult find_most_promising_paths(const std::vector<double>& pe,
+                                              int constellation_order,
+                                              const PreprocessingConfig& cfg) {
   if (cfg.num_paths == 0) {
     throw std::invalid_argument("find_most_promising_paths: num_paths == 0");
   }
-  const std::size_t nt = r.cols();
-  const int q = c.order();
+  const std::size_t nt = pe.size();
+  const int q = constellation_order;
 
   PreprocessingResult out;
-  out.pe = level_error_probabilities(r, noise_var, c, cfg.pe_model);
+  out.pe = pe;
 
   // Root probability prod_l (1 - Pe(l)): Nt-1 multiplications.
   double root_pc = 1.0;
-  for (double pe : out.pe) root_pc *= (1.0 - pe);
+  for (double pe_l : out.pe) root_pc *= (1.0 - pe_l);
   out.real_mults += nt >= 1 ? nt - 1 : 0;
 
   const std::size_t cap =

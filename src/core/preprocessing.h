@@ -86,6 +86,14 @@ PreprocessingResult find_most_promising_paths(const linalg::CMat& r,
                                               const Constellation& c,
                                               const PreprocessingConfig& cfg);
 
+/// Same search over caller-supplied per-level probabilities Pe(l) (array
+/// index = level-1) — the seam the control plane's path-count solver uses
+/// to invert the model at a *nominal* SNR, with no channel realization in
+/// hand.  `cfg.pe_model` is ignored (the pe values are taken as given).
+PreprocessingResult find_most_promising_paths(const std::vector<double>& pe,
+                                              int constellation_order,
+                                              const PreprocessingConfig& cfg);
+
 /// Reference implementation for tests: enumerate *all* |Q|^Nt position
 /// vectors, rank by Pc, return the top `num_paths`.  Exponential; only for
 /// tiny problems.

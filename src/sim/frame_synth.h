@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "api/uplink_pipeline.h"
+#include "detect/detector.h"
 #include "channel/channel.h"
 #include "channel/rng.h"
 #include "linalg/matrix.h"
@@ -21,32 +23,67 @@ namespace flexcore::sim {
 struct SynthFrame {
   std::vector<linalg::CMat> channels;
   std::vector<linalg::CVec> ys;
+  /// Transmitted symbol indices, vector-major: tx[(f * nv + t) * nt + u]
+  /// is user u of vector (f, t) — the ground truth closed-loop drivers
+  /// score detection against.
+  std::vector<int> tx;
   std::size_t nv = 0;  ///< vectors (OFDM symbols) per channel
 };
+
+/// Random QAM transmissions over the given per-subcarrier channels
+/// (recording the transmitted indices); `channels` is copied into the
+/// frame.
+inline SynthFrame synth_frame_over(
+    const modulation::Constellation& c,
+    std::span<const linalg::CMat> channels, std::size_t nv,
+    double noise_var, channel::Rng& rng) {
+  SynthFrame fr;
+  fr.nv = nv;
+  fr.channels.assign(channels.begin(), channels.end());
+  const std::size_t nsc = fr.channels.size();
+  const std::size_t nt = nsc > 0 ? fr.channels.front().cols() : 0;
+  linalg::CVec s(nt);
+  fr.ys.reserve(nsc * nv);
+  fr.tx.reserve(nsc * nv * nt);
+  for (std::size_t f = 0; f < nsc; ++f) {
+    for (std::size_t t = 0; t < nv; ++t) {
+      for (std::size_t u = 0; u < nt; ++u) {
+        const int x = static_cast<int>(
+            rng.uniform_int(static_cast<std::uint64_t>(c.order())));
+        fr.tx.push_back(x);
+        s[u] = c.point(x);
+      }
+      fr.ys.push_back(channel::transmit(fr.channels[f], s, noise_var, rng));
+    }
+  }
+  return fr;
+}
 
 inline SynthFrame synth_frame(const modulation::Constellation& c,
                               std::size_t nsc, std::size_t nv, std::size_t nr,
                               std::size_t nt, double noise_var,
                               std::uint64_t seed) {
   channel::Rng rng(seed);
-  SynthFrame fr;
-  fr.nv = nv;
-  fr.channels.reserve(nsc);
+  std::vector<linalg::CMat> channels;
+  channels.reserve(nsc);
   for (std::size_t f = 0; f < nsc; ++f) {
-    fr.channels.push_back(channel::rayleigh_iid(nr, nt, rng));
+    channels.push_back(channel::rayleigh_iid(nr, nt, rng));
   }
-  linalg::CVec s(nt);
-  fr.ys.reserve(nsc * nv);
-  for (std::size_t f = 0; f < nsc; ++f) {
-    for (std::size_t t = 0; t < nv; ++t) {
-      for (std::size_t u = 0; u < nt; ++u) {
-        s[u] = c.point(static_cast<int>(
-            rng.uniform_int(static_cast<std::uint64_t>(c.order()))));
-      }
-      fr.ys.push_back(channel::transmit(fr.channels[f], s, noise_var, rng));
+  return synth_frame_over(c, channels, nv, noise_var, rng);
+}
+
+/// Symbol errors of a detection run against the frame's recorded ground
+/// truth.  `results` follows the frame's ys layout.
+inline std::size_t count_symbol_errors(
+    const SynthFrame& fr, std::span<const detect::DetectionResult> results) {
+  std::size_t errors = 0;
+  for (std::size_t v = 0; v < results.size(); ++v) {
+    const auto& symbols = results[v].symbols;
+    for (std::size_t u = 0; u < symbols.size(); ++u) {
+      errors += symbols[u] != fr.tx[v * symbols.size() + u];
     }
   }
-  return fr;
+  return errors;
 }
 
 /// The frame viewed as a FrameJob (spans BORROW fr — keep it alive).

@@ -1,0 +1,106 @@
+// Time-varying scenario driver for closed-loop experiments.
+//
+// A production access point never sees the static channel of the paper's
+// §5 evaluation: SNR ramps as users move, fading bursts break coherence,
+// and offered load spikes.  A Scenario scripts those dynamics as a list of
+// segments — each a frame count with a linear SNR ramp, a Gauss-Markov
+// channel-coherence factor rho (1 = static, the paper's assumption;
+// < 1 evolves the trace every frame via channel::evolve_trace) and an
+// optional load burst (extra duplicate frames the driver tells the caller
+// to submit, pressuring the runtime's admission queue).
+//
+// ScenarioDriver walks the script frame by frame, owning the channel
+// trace and the randomness, so the control-plane bench and tests replay
+// identical conditions from a seed:
+//
+//   sim::ScenarioConfig sc;
+//   sc.trace = {.nr = 8, .nt = 4};
+//   sc.segments = {{.frames = 50, .snr_db_begin = 18, .snr_db_end = 8},
+//                  {.frames = 50, .snr_db_begin = 8, .snr_db_end = 18}};
+//   sim::ScenarioDriver drv(sc);
+//   sim::ScenarioStep step;
+//   while (drv.next(&step)) {
+//     sim::SynthFrame fr = drv.synth_frame(qam, nsc, nv);
+//     ...  // detect fr at step.noise_var, feed the controller
+//   }
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "channel/rng.h"
+#include "channel/trace.h"
+#include "modulation/constellation.h"
+#include "sim/frame_synth.h"
+
+namespace flexcore::sim {
+
+struct ScenarioSegment {
+  std::size_t frames = 0;
+  /// True channel SNR ramps linearly from begin to end across the segment
+  /// (equal values = flat).
+  double snr_db_begin = 15.0;
+  double snr_db_end = 15.0;
+  /// Per-frame Gauss-Markov coherence: 1 keeps the trace static, < 1
+  /// evolves it every frame (fading; pre-processing reuse is invalid).
+  double rho = 1.0;
+  /// Extra copies of each frame the caller should submit, modelling an
+  /// offered-load spike against a fixed compute budget.
+  std::size_t load_burst = 0;
+};
+
+struct ScenarioConfig {
+  channel::TraceConfig trace;
+  std::vector<ScenarioSegment> segments;
+  std::uint64_t seed = 1;
+};
+
+/// One frame's scripted conditions.
+struct ScenarioStep {
+  std::size_t index = 0;  ///< global frame index across segments
+  std::size_t segment = 0;
+  double snr_db = 0.0;  ///< true channel SNR this frame
+  double noise_var = 1.0;
+  bool channel_changed = false;  ///< trace evolved (always true at frame 0)
+  std::size_t load_burst = 0;
+};
+
+class ScenarioDriver {
+ public:
+  explicit ScenarioDriver(const ScenarioConfig& cfg);
+
+  std::size_t total_frames() const noexcept { return total_frames_; }
+
+  /// Advances one frame; false when the script is exhausted.
+  bool next(ScenarioStep* step);
+
+  /// Channel trace of the CURRENT step (valid after a true next()).
+  const channel::ChannelTrace& trace() const noexcept { return trace_; }
+
+  /// Synthesizes the current step's uplink workload over the first `nsc`
+  /// subcarriers of the trace, at the step's noise variance, with the
+  /// transmitted symbols recorded for error scoring.
+  SynthFrame synth_frame(const modulation::Constellation& c, std::size_t nsc,
+                         std::size_t nv);
+
+  /// Lowest true SNR the script ever reaches — the static worst case an
+  /// adaptive policy is judged against.
+  double min_snr_db() const noexcept { return min_snr_db_; }
+
+  const ScenarioConfig& config() const noexcept { return cfg_; }
+
+ private:
+  ScenarioConfig cfg_;
+  channel::Rng rng_;
+  channel::ChannelTrace trace_;
+  std::size_t total_frames_ = 0;
+  double min_snr_db_ = 0.0;
+  std::size_t segment_ = 0;
+  std::size_t frame_in_segment_ = 0;
+  std::size_t frame_ = 0;
+  ScenarioStep current_;
+  bool started_ = false;
+};
+
+}  // namespace flexcore::sim
