@@ -2,6 +2,11 @@
 // QR decompositions, pre-processing, LUT lookup, single-path walk, Viterbi.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
 #include "api/detector_registry.h"
 #include "channel/channel.h"
 #include "coding/convolutional.h"
@@ -102,6 +107,79 @@ void BM_FlexCorePathWalk(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlexCorePathWalk);
+
+// ---- the lane-parallel kernel engine (detect/path_kernels.h) ----
+// BM_PathMetricScalar and BM_PathMetricBlock walk the SAME full path set
+// per iteration (all active paths of one rotated vector), so their ratio
+// is the block-kernel speedup fig17 gates on.
+
+struct KernelFixture {
+  Constellation qam{64};
+  std::unique_ptr<fc::FlexCoreDetector> det;
+  fl::CVec ybar;
+
+  explicit KernelFixture(const char* spec) {
+    det = fa::make_detector_as<fc::FlexCoreDetector>(
+        spec, {.constellation = &qam});
+    const auto h = channel_12x12();
+    const double nv = 0.02;
+    det->set_channel(h, nv);
+    // Random transmitted symbols: a corner-only vector would deactivate
+    // most paths at the top level, flattering the early-exit scalar walk.
+    ch::Rng rng(3);
+    fl::CVec s(12);
+    for (auto& z : s) {
+      z = qam.point(static_cast<int>(
+          rng.uniform_int(static_cast<std::uint64_t>(qam.order()))));
+    }
+    ybar = det->rotate(ch::transmit(h, s, nv, rng));
+  }
+};
+
+void BM_PathMetricScalar(benchmark::State& state) {
+  KernelFixture fx("flexcore-128");
+  const std::size_t paths = fx.det->active_paths();
+  for (auto _ : state) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t p = 0; p < paths; ++p) {
+      best = std::min(best, fx.det->path_metric(fx.ybar, p));
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(paths));
+}
+BENCHMARK(BM_PathMetricScalar);
+
+void BM_PathMetricBlock(benchmark::State& state) {
+  KernelFixture fx(state.range(0) == 32 ? "flexcore-128:fp32"
+                                        : "flexcore-128");
+  const std::size_t paths = fx.det->active_paths();
+  for (auto _ : state) {
+    // detect::scan_paths is the exact block-scan loop the grids run.
+    std::size_t best_p = 0;
+    double best = 0.0;
+    flexcore::detect::scan_paths(*fx.det, fx.ybar, paths, &best_p, &best);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(paths));
+  state.SetLabel(state.range(0) == 32 ? "fp32" : "fp64");
+}
+BENCHMARK(BM_PathMetricBlock)->Arg(64)->Arg(32);
+
+void BM_RotateInto(benchmark::State& state) {
+  KernelFixture fx("flexcore-128");
+  ch::Rng rng(5);
+  fl::CVec s(12, fx.qam.point(1));
+  const auto y = ch::transmit(channel_12x12(), s, 0.02, rng);
+  fl::CVec out(12);
+  for (auto _ : state) {
+    fx.det->rotate_into(y, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RotateInto);
 
 void BM_FlexCoreSetChannel(benchmark::State& state) {
   Constellation qam(64);

@@ -37,6 +37,12 @@ struct CellConfig {
   /// Detector tuning forwarded to api::make_detector (constellation field
   /// is ignored — the cell owns its constellation).
   DetectorConfig tuning;
+  /// Compute tier of the cell's path grids: kFloat32 runs the
+  /// single-precision kernel tier (forwarded to the cell's pipeline; a
+  /// detector-spec suffix ":fp32"/":fp64" still overrides).  The control
+  /// plane's degrade ladder also reaches this tier by emitting ":fp32"
+  /// specs under sustained load.
+  detect::Precision precision = detect::Precision::kFloat64;
   /// Static-channel coherence policy: when true, every frame after the
   /// cell's first reuses the per-subcarrier preprocessing (QR + path
   /// selection) of the previous frame — the caller asserts the channels are

@@ -26,6 +26,36 @@ const Constellation& require_constellation(const DetectorConfig& cfg,
   return *cfg.constellation;
 }
 
+/// Strips a trailing precision-tier suffix (":fp32" / ":fp64") off a spec,
+/// recording the tier in *precision (left untouched when no suffix is
+/// present, so DetectorConfig::precision stays the default).  Only the
+/// path-parallel factories call this — "zf:fp32" stays an unknown spec.
+std::string_view strip_precision(std::string_view spec,
+                                 detect::Precision* precision) {
+  if (spec.ends_with(":fp32")) {
+    *precision = detect::Precision::kFloat32;
+    return spec.substr(0, spec.size() - 5);
+  }
+  if (spec.ends_with(":fp64")) {
+    *precision = detect::Precision::kFloat64;
+    return spec.substr(0, spec.size() - 5);
+  }
+  return spec;
+}
+
+/// Tier resolution for the FlexCore families, one rule in one place:
+/// flexcore.precision < DetectorConfig.precision < spec suffix.  Returns
+/// the spec with any suffix stripped, with the resolved tier in
+/// fcfg->precision.
+std::string_view resolve_flexcore_tier(std::string_view spec,
+                                       const DetectorConfig& cfg,
+                                       core::FlexCoreConfig* fcfg) {
+  if (cfg.precision != detect::Precision::kFloat64) {
+    fcfg->precision = cfg.precision;
+  }
+  return strip_precision(spec, &fcfg->precision);
+}
+
 /// Parses "<family>" (returns nullopt in *value) or "<family>-<digits>"
 /// (returns the parsed number).  Returns false when spec is neither.
 bool match_family(std::string_view spec, std::string_view family,
@@ -88,17 +118,19 @@ void register_builtins(DetectorRegistry& r) {
                      c, cfg.ml_sphere);
                })});
 
-  r.add({"fcsd", "fcsd-L1", "fcsd-L<L> (bare = L1)",
+  r.add({"fcsd", "fcsd-L1", "fcsd-L<L>[:fp32] (bare = L1)",
          [](std::string_view spec, const DetectorConfig& cfg)
              -> std::unique_ptr<detect::Detector> {
+           detect::Precision precision = cfg.precision;
+           const std::string_view stem = strip_precision(spec, &precision);
            std::size_t levels = 1;
-           if (spec != "fcsd") {
+           if (stem != "fcsd") {
              constexpr std::string_view kPrefix = "fcsd-L";
-             if (spec.size() <= kPrefix.size() ||
-                 spec.substr(0, kPrefix.size()) != kPrefix) {
+             if (stem.size() <= kPrefix.size() ||
+                 stem.substr(0, kPrefix.size()) != kPrefix) {
                return nullptr;
              }
-             const std::string_view digits = spec.substr(kPrefix.size());
+             const std::string_view digits = stem.substr(kPrefix.size());
              const auto [ptr, ec] = std::from_chars(
                  digits.data(), digits.data() + digits.size(), levels);
              if (ec != std::errc() ||
@@ -107,7 +139,7 @@ void register_builtins(DetectorRegistry& r) {
              }
            }
            return std::make_unique<detect::FcsdDetector>(
-               require_constellation(cfg, spec), levels);
+               require_constellation(cfg, spec), levels, precision);
          }});
 
   r.add({"kbest", "kbest-8", "kbest-<K> (bare = K8)",
@@ -139,12 +171,14 @@ void register_builtins(DetectorRegistry& r) {
          }});
 
   r.add({"flexcore", "flexcore-64",
-         "flexcore[-<PEs>] (base config: cfg.flexcore)",
+         "flexcore[-<PEs>][:fp32] (base config: cfg.flexcore)",
          [](std::string_view spec, const DetectorConfig& cfg)
              -> std::unique_ptr<detect::Detector> {
-           std::optional<std::size_t> pes;
-           if (!match_family(spec, "flexcore", &pes)) return nullptr;
            core::FlexCoreConfig fcfg = cfg.flexcore;
+           const std::string_view stem =
+               resolve_flexcore_tier(spec, cfg, &fcfg);
+           std::optional<std::size_t> pes;
+           if (!match_family(stem, "flexcore", &pes)) return nullptr;
            fcfg.adaptive_threshold = 0.0;  // the spec family decides
            if (pes.has_value()) fcfg.num_pes = *pes;
            return std::make_unique<core::FlexCoreDetector>(
@@ -152,13 +186,15 @@ void register_builtins(DetectorRegistry& r) {
          }});
 
   r.add({"a-flexcore", "a-flexcore-64",
-         "a-flexcore[-<PEs>] (threshold: cfg.flexcore.adaptive_threshold or "
-         "cfg.adaptive_threshold)",
+         "a-flexcore[-<PEs>][:fp32] (threshold: "
+         "cfg.flexcore.adaptive_threshold or cfg.adaptive_threshold)",
          [](std::string_view spec, const DetectorConfig& cfg)
              -> std::unique_ptr<detect::Detector> {
-           std::optional<std::size_t> pes;
-           if (!match_family(spec, "a-flexcore", &pes)) return nullptr;
            core::FlexCoreConfig fcfg = cfg.flexcore;
+           const std::string_view stem =
+               resolve_flexcore_tier(spec, cfg, &fcfg);
+           std::optional<std::size_t> pes;
+           if (!match_family(stem, "a-flexcore", &pes)) return nullptr;
            if (fcfg.adaptive_threshold <= 0.0) {
              fcfg.adaptive_threshold =
                  cfg.adaptive_threshold > 0.0 ? cfg.adaptive_threshold : 0.95;

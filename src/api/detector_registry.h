@@ -12,8 +12,12 @@
 //
 // Parametric families parse their parameter out of the spec suffix
 // (flexcore-<PEs>, a-flexcore-<PEs>, fcsd-L<L>, kbest-<K>, akbest-<B>);
-// bare family names fall back to the values in DetectorConfig.  Unknown
-// specs throw std::invalid_argument listing the registered families.
+// bare family names fall back to the values in DetectorConfig.  The
+// path-parallel families additionally accept a precision-tier suffix
+// (":fp32" / ":fp64", e.g. "flexcore-128:fp32") selecting the compute
+// tier of their block kernels; it overrides DetectorConfig::precision.
+// Unknown specs throw std::invalid_argument listing the registered
+// families.
 //
 // This registry is the seam later scaling work plugs into: alternative
 // backends register additional factories and every driver picks them up by
@@ -50,6 +54,11 @@ struct DetectorConfig {
   /// a-FlexCore activation threshold used when flexcore.adaptive_threshold
   /// is unset (0); 0.95 is the paper's Fig. 10 operating point.
   double adaptive_threshold = 0.95;
+
+  /// Compute tier for the path-parallel families (flexcore / a-flexcore /
+  /// fcsd); a ":fp32"/":fp64" spec suffix overrides it.  Other families
+  /// ignore it (they have no reduced-precision kernels).
+  detect::Precision precision = detect::Precision::kFloat64;
 };
 
 /// Registry of detector factories.  A factory inspects the spec and returns

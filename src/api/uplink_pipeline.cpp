@@ -71,6 +71,11 @@ void validate_frame_job(const FrameJob& job) {
 
 UplinkPipeline::UplinkPipeline(const PipelineConfig& cfg)
     : cfg_(cfg), constellation_(cfg.qam_order) {
+  // Fold the session-level precision knob into the tuning every detector
+  // construction (including clones and reconfigure swaps) flows through.
+  if (cfg_.precision != detect::Precision::kFloat64) {
+    cfg_.tuning.precision = cfg_.precision;
+  }
   if (cfg.shared_pool != nullptr) {
     pool_ = cfg.shared_pool;
   } else {
@@ -78,7 +83,7 @@ UplinkPipeline::UplinkPipeline(const PipelineConfig& cfg)
         cfg.threads > 0 ? cfg.threads : parallel::default_thread_count());
     pool_ = owned_pool_.get();
   }
-  DetectorConfig dcfg = cfg.tuning;
+  DetectorConfig dcfg = cfg_.tuning;
   dcfg.constellation = &constellation_;
   det_ = make_detector(cfg.detector, dcfg);
   det_->set_thread_pool(pool_);

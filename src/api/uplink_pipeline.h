@@ -64,6 +64,12 @@ struct PipelineConfig {
   /// Detector tuning forwarded to api::make_detector.  Its `constellation`
   /// field is ignored — the pipeline owns the constellation.
   DetectorConfig tuning;
+  /// Compute tier of the session's path grids (detect/path_kernels.h).
+  /// kFloat32 selects the single-precision kernel tier end-to-end (the
+  /// knob is folded into `tuning.precision` at construction, so it also
+  /// covers frame-detector clones and later reconfigure calls); a spec
+  /// suffix (":fp32"/":fp64") still overrides per detector.
+  detect::Precision precision = detect::Precision::kFloat64;
 };
 
 /// One frame's worth of detection work: every data subcarrier's channel

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "detect/path_kernels.h"
+
 namespace flexcore::control {
 
 FeedbackLoop::FeedbackLoop(const modulation::Constellation& c, std::size_t nt,
@@ -70,8 +72,7 @@ std::optional<Decision> FeedbackLoop::observe(const Observation& obs) {
     } else {
       high_run_ = low_run_ = 0;
     }
-    if (high_run_ >= cfg_.degrade_after &&
-        degrade_step_ <= cfg_.max_degrade_steps) {
+    if (high_run_ >= cfg_.degrade_after && degrade_step_ <= ladder_top()) {
       ++degrade_step_;
       high_run_ = 0;
       load_delta = 1;
@@ -112,9 +113,17 @@ std::optional<Decision> FeedbackLoop::emit(const char* reason) {
   for (std::size_t s = 0; s < halvings; ++s) {
     paths = std::max(cfg_.policy.min_paths, paths / 2);
   }
-  const std::string spec = degrade_step_ > cfg_.max_degrade_steps
-                               ? cfg_.degrade_detector
-                               : path_spec(cfg_.path_family, *c_, paths);
+  // Terminal rungs past the halvings: fp32 precision drop (when enabled),
+  // then the family swap.
+  std::string spec;
+  if (degrade_step_ > ladder_top()) {
+    spec = cfg_.degrade_detector;
+  } else {
+    spec = path_spec(cfg_.path_family, *c_, paths);
+    if (cfg_.shed_precision && degrade_step_ == cfg_.max_degrade_steps + 1) {
+      spec += detect::precision_suffix(detect::Precision::kFloat32);
+    }
+  }
   if (current_ && current_->detector == spec) return std::nullopt;
 
   Decision d;

@@ -18,10 +18,12 @@
 //     accumulates (the model was too optimistic for this channel), which
 //     re-solves to more paths; sustained clean windows bleed it off;
 //   * load shedding — sustained queue pressure degrades the budget by
-//     halving the path count per step, and past max_degrade_steps swaps
-//     the detector family to the linear-complexity degrade_detector
-//     (graceful degradation instead of dropped frames); sustained slack
-//     restores one step at a time.
+//     halving the path count per step; past max_degrade_steps the ladder
+//     first drops the compute tier to fp32 (the ":fp32" kernel tier — a
+//     cheaper grid at full path coverage) and then swaps the detector
+//     family to the linear-complexity degrade_detector (graceful
+//     degradation instead of dropped frames); sustained slack restores
+//     one step at a time.
 #pragma once
 
 #include <cstddef>
@@ -66,9 +68,17 @@ struct ControlConfig {
   double load_low = 0.25;
   std::size_t degrade_after = 3;
   std::size_t restore_after = 8;
-  /// Halvings of the path budget before the family swap step; degrade step
-  /// max_degrade_steps + 1 is the degrade_detector.
+  /// Halvings of the path budget before the terminal ladder rungs.  With
+  /// shed_precision (default), degrade step max_degrade_steps + 1 drops
+  /// the compute tier to fp32 (same spec + ":fp32" — the block kernels run
+  /// single precision, roughly halving grid cost without giving up the
+  /// path search) and step max_degrade_steps + 2 is the family swap to
+  /// degrade_detector.  Without it, step max_degrade_steps + 1 swaps
+  /// directly.
   std::size_t max_degrade_steps = 3;
+  /// Insert the fp32 precision rung between the last halving and the
+  /// family swap.
+  bool shed_precision = true;
   std::string degrade_detector = "zf-sic";
 };
 
@@ -124,6 +134,13 @@ class FeedbackLoop {
   /// Solves the current spec from the smoothed state; emits iff it
   /// differs from the live spec.
   std::optional<Decision> emit(const char* reason);
+
+  /// Highest degrade step before the terminal family swap: the halvings
+  /// plus the fp32 rung when enabled.  Shared by observe() (step-counter
+  /// bound) and emit() (spec selection) so the ladder shape cannot drift.
+  std::size_t ladder_top() const noexcept {
+    return cfg_.max_degrade_steps + (cfg_.shed_precision ? 1 : 0);
+  }
 
   const modulation::Constellation* c_;
   std::size_t nt_;

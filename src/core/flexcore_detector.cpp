@@ -21,9 +21,11 @@ FlexCoreDetector::FlexCoreDetector(const Constellation& c, FlexCoreConfig cfg)
 }
 
 std::string FlexCoreDetector::name() const {
-  return cfg_.adaptive_threshold > 0.0
-             ? "a-flexcore-" + std::to_string(cfg_.num_pes)
-             : "flexcore-" + std::to_string(cfg_.num_pes);
+  std::string base = cfg_.adaptive_threshold > 0.0
+                         ? "a-flexcore-" + std::to_string(cfg_.num_pes)
+                         : "flexcore-" + std::to_string(cfg_.num_pes);
+  base += detect::precision_suffix(cfg_.precision);
+  return base;
 }
 
 void FlexCoreDetector::set_channel(const CMat& h, double noise_var) {
@@ -49,6 +51,20 @@ void FlexCoreDetector::set_channel(const CMat& h, double noise_var) {
     for (int x = 0; x < q; ++x) {
       rx_[i][static_cast<std::size_t>(x)] = qr_.R(i, i) * constellation_->point(x);
     }
+  }
+
+  // Compile the selected path set into the block kernel's PathPlan (the
+  // configured precision tier only; the other tier's plan is dropped so
+  // stale state can never be evaluated).
+  const bool exact = cfg_.ordering == OrderingMode::kExactSort;
+  if (cfg_.precision == detect::Precision::kFloat32) {
+    plan32_.compile_flexcore(qr_.R, preproc_.paths, *constellation_, lut_,
+                             exact, cfg_.invalid_policy);
+    plan64_.clear();
+  } else {
+    plan64_.compile_flexcore(qr_.R, preproc_.paths, *constellation_, lut_,
+                             exact, cfg_.invalid_policy);
+    plan32_.clear();
   }
 }
 
@@ -193,14 +209,17 @@ bool FlexCoreDetector::reconstruct_winner(std::span<const cplx> ybar,
                                           double best_metric,
                                           detect::Workspace& ws,
                                           DetectionResult* res) const {
-  bool fell = false;
-  if (std::isinf(best_metric)) {
+  // The double walk re-deriving the winner can disagree with the grid only
+  // in the fp32 tier (a reduced-precision LUT lookup at a triangle edge):
+  // treat that like an all-deactivated vector and fall back to plain SIC.
+  bool fell = true;
+  if (!std::isinf(best_metric) &&
+      evaluate_path(ybar, best_path, ws, &res->metric, &res->stats)) {
+    res->symbols = ws.symbols;
+    fell = false;
+  } else {
     res->stats = DetectionStats{};
     sic_fallback_into(ybar, ws, res);
-    fell = true;
-  } else {
-    evaluate_path(ybar, best_path, ws, &res->metric, &res->stats);
-    res->symbols = ws.symbols;
   }
   res->stats.paths_evaluated = active_paths_;
   res->symbols = linalg::unpermute(res->symbols, qr_.perm);
@@ -231,29 +250,29 @@ void FlexCoreDetector::detect_batch(std::span<const CVec> ys,
     return;
   }
   const std::size_t nv = ys.size();
-  const detect::PathGridOutput grid =
-      detect::run_path_grid(*this, active_paths_, ys, *pool_);
+  detect::run_path_grid(*this, active_paths_, ys, qr_.R.cols(), *pool_,
+                        &grid_);
 
   out->results.assign(nv, DetectionResult{});
   out->stats = DetectionStats{};
   out->sic_fallbacks = 0;
-  out->tasks = grid.tasks;
-  out->elapsed_seconds = grid.elapsed_seconds;
+  out->tasks = grid_.tasks;
+  out->elapsed_seconds = grid_.elapsed_seconds;
 
   // Winner reconstruction: one instrumented path walk per vector (the grid
-  // itself runs the metric-only kernel), plus the SIC fallback for vectors
-  // whose every path was deactivated — the caller-level policy the raw task
-  // grid historically punted on.
-  std::vector<std::uint8_t> fell(nv, 0);
+  // itself runs the metric-only block kernel), plus the SIC fallback for
+  // vectors whose every path was deactivated — the caller-level policy the
+  // raw task grid historically punted on.
+  fell_.assign(nv, 0);
   workspaces_.ensure(pool_->size());
   pool_->parallel_for_worker(nv, [&](std::size_t w, std::size_t v) {
-    fell[v] = reconstruct_winner(grid.ybars[v], grid.best_path[v],
-                                 grid.best_metric[v], workspaces_.at(w),
-                                 &out->results[v]);
+    fell_[v] = reconstruct_winner(grid_.ybar(v), grid_.best_path[v],
+                                  grid_.best_metric[v], workspaces_.at(w),
+                                  &out->results[v]);
   });
   for (std::size_t v = 0; v < nv; ++v) {
     out->stats += out->results[v].stats;
-    out->sic_fallbacks += fell[v];
+    out->sic_fallbacks += fell_[v];
   }
 }
 

@@ -23,6 +23,8 @@
 #include "core/ordering_lut.h"
 #include "core/preprocessing.h"
 #include "detect/detector.h"
+#include "detect/path_grid.h"
+#include "detect/path_kernels.h"
 #include "detect/workspace.h"
 #include "linalg/qr.h"
 
@@ -60,6 +62,11 @@ struct FlexCoreConfig {
   std::size_t candidate_list_cap = 0;
   /// Pre-processing nodes expanded per round (1 = sequential).
   std::size_t batch_expand = 1;
+  /// Compute tier of the path grids (detect/path_kernels.h): kFloat64 is
+  /// bit-identical to the scalar kernels; kFloat32 evaluates the block
+  /// kernel in single precision (spec suffix ":fp32").  Winner
+  /// reconstruction and the sequential detect() path stay double.
+  detect::Precision precision = detect::Precision::kFloat64;
 };
 
 /// Soft-output extension (§7 "promising next step"): max-log LLRs computed
@@ -138,9 +145,24 @@ class FlexCoreDetector : public Detector {
 
   /// Metric-only path walk for the hot loop of the task grids: no
   /// allocation, no instrumentation.  Returns +infinity for deactivated
-  /// paths.  Requires Nt <= 32.
+  /// paths.  Requires Nt <= 32.  Always full (double) precision.
   double path_metric(std::span<const linalg::cplx> ybar,
                      std::size_t path_index) const;
+
+  /// Lane-parallel block kernel: metrics of paths [first_path,
+  /// first_path + n_paths) in one call, through the PathPlan compiled by
+  /// set_channel in the configured precision tier.  At kFloat64 the
+  /// metrics are bit-identical to path_metric per path; at kFloat32 the
+  /// grid runs single precision.  Thread-safe, allocation-free.
+  void path_metric_block(std::span<const linalg::cplx> ybar,
+                         std::size_t first_path, std::size_t n_paths,
+                         double* out_metrics) const {
+    if (cfg_.precision == detect::Precision::kFloat32) {
+      plan32_.path_metric_block(ybar, first_path, n_paths, out_metrics);
+    } else {
+      plan64_.path_metric_block(ybar, first_path, n_paths, out_metrics);
+    }
+  }
 
   /// Builds the final DetectionResult of one vector from a grid verdict
   /// (run_path_grid / run_frame_grid): an instrumented walk of the winning
@@ -182,10 +204,17 @@ class FlexCoreDetector : public Detector {
   double noise_var_ = 1.0;
   CVec r_diag_inv_;        // 1 / R(i,i)
   std::vector<CVec> rx_;   // rx_[i][x] = R(i,i) * point(x)
-  // Per-worker reconstruction scratch, kept across detect_batch calls so
-  // repeated per-subcarrier batches stay at their high-water mark.  Guarded
-  // by the detect_batch contract (one driver thread at a time).
+  // Compiled path plans for the block kernel (only the configured
+  // precision tier is compiled per set_channel).
+  detect::PathPlan plan64_;
+  detect::PathPlanF plan32_;
+  // Per-worker reconstruction scratch plus the reusable grid output, kept
+  // across detect_batch calls so repeated per-subcarrier batches stay at
+  // their high-water mark (zero steady-state allocations).  Guarded by the
+  // detect_batch contract (one driver thread at a time).
   mutable detect::WorkspaceBank workspaces_;
+  mutable detect::PathGridOutput grid_;
+  mutable std::vector<std::uint8_t> fell_;
 };
 
 }  // namespace flexcore::core

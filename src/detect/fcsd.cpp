@@ -23,6 +23,15 @@ void FcsdDetector::set_channel(const CMat& h, double /*noise_var*/) {
       rx_[i][static_cast<std::size_t>(x)] = qr_.R(i, i) * constellation_->point(x);
     }
   }
+
+  // Compile the block-kernel plan in the configured precision tier.
+  if (precision_ == Precision::kFloat32) {
+    plan32_.compile_fcsd(qr_.R, full_levels_, *constellation_);
+    plan64_.clear();
+  } else {
+    plan64_.compile_fcsd(qr_.R, full_levels_, *constellation_);
+    plan32_.clear();
+  }
 }
 
 std::size_t FcsdDetector::num_paths() const {
@@ -160,19 +169,19 @@ void FcsdDetector::detect_batch(std::span<const CVec> ys,
     return;
   }
   const std::size_t nv = ys.size();
-  const PathGridOutput grid = run_path_grid(*this, paths, ys, *pool_);
+  run_path_grid(*this, paths, ys, qr_.R.cols(), *pool_, &grid_);
 
   out->results.assign(nv, DetectionResult{});
   out->stats = DetectionStats{};
   out->sic_fallbacks = 0;  // every FCSD path is always valid
-  out->tasks = grid.tasks;
-  out->elapsed_seconds = grid.elapsed_seconds;
+  out->tasks = grid_.tasks;
+  out->elapsed_seconds = grid_.elapsed_seconds;
 
   // Winner reconstruction: one instrumented path walk per vector (the grid
-  // itself runs the metric-only kernel).
+  // itself runs the metric-only block kernel).
   workspaces_.ensure(pool_->size());
   pool_->parallel_for_worker(nv, [&](std::size_t w, std::size_t v) {
-    reconstruct_winner(grid.ybars[v], grid.best_path[v], grid.best_metric[v],
+    reconstruct_winner(grid_.ybar(v), grid_.best_path[v], grid_.best_metric[v],
                        workspaces_.at(w), &out->results[v]);
   });
   for (const DetectionResult& res : out->results) out->stats += res.stats;

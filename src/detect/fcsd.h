@@ -11,6 +11,8 @@
 #include <span>
 
 #include "detect/detector.h"
+#include "detect/path_grid.h"
+#include "detect/path_kernels.h"
 #include "detect/workspace.h"
 #include "linalg/qr.h"
 
@@ -19,9 +21,12 @@ namespace flexcore::detect {
 class FcsdDetector : public Detector {
  public:
   /// `full_levels` = L, the number of fully-expanded levels (1 or 2 in the
-  /// paper's evaluation).
-  FcsdDetector(const Constellation& c, std::size_t full_levels)
-      : constellation_(&c), full_levels_(full_levels) {}
+  /// paper's evaluation).  `precision` selects the compute tier of the
+  /// path grids (spec suffix ":fp32"); everything outside the grid stays
+  /// double.
+  FcsdDetector(const Constellation& c, std::size_t full_levels,
+               Precision precision = Precision::kFloat64)
+      : constellation_(&c), full_levels_(full_levels), precision_(precision) {}
 
   void set_channel(const CMat& h, double noise_var) override;
   DetectionResult detect(const CVec& y) const override;
@@ -36,7 +41,8 @@ class FcsdDetector : public Detector {
   void set_thread_pool(parallel::ThreadPool* pool) override { pool_ = pool; }
 
   std::string name() const override {
-    return "fcsd-L" + std::to_string(full_levels_);
+    return "fcsd-L" + std::to_string(full_levels_) +
+           precision_suffix(precision_);
   }
   std::size_t parallel_tasks() const override { return num_paths(); }
 
@@ -75,9 +81,24 @@ class FcsdDetector : public Detector {
                      double* metric, DetectionStats* stats) const;
 
   /// Metric-only path walk (no allocation / instrumentation) for the
-  /// task grids' hot loop.  Requires Nt <= 32.
+  /// task grids' hot loop.  Requires Nt <= 32.  Always double precision.
   double path_metric(std::span<const linalg::cplx> ybar,
                      std::size_t path_index) const;
+
+  /// Lane-parallel block kernel over the PathPlan compiled by set_channel
+  /// (the configured precision tier).  Bit-identical to path_metric per
+  /// path at kFloat64.  Thread-safe, allocation-free.
+  void path_metric_block(std::span<const linalg::cplx> ybar,
+                         std::size_t first_path, std::size_t n_paths,
+                         double* out_metrics) const {
+    if (precision_ == Precision::kFloat32) {
+      plan32_.path_metric_block(ybar, first_path, n_paths, out_metrics);
+    } else {
+      plan64_.path_metric_block(ybar, first_path, n_paths, out_metrics);
+    }
+  }
+
+  Precision precision() const noexcept { return precision_; }
 
   /// Builds the final DetectionResult of one vector from a grid verdict:
   /// an instrumented walk of the winning path, symbols in ORIGINAL antenna
@@ -91,13 +112,20 @@ class FcsdDetector : public Detector {
  private:
   const Constellation* constellation_;
   std::size_t full_levels_;
+  Precision precision_;
   parallel::ThreadPool* pool_ = nullptr;
   linalg::QrResult qr_;
   std::vector<CVec> rx_;  // rx_[i][x] = R(i,i) * point(x)
-  // Per-worker reconstruction scratch, kept across detect_batch calls so
-  // repeated per-subcarrier batches stay at their high-water mark.  Guarded
-  // by the detect_batch contract (one driver thread at a time).
+  // Compiled path plans for the block kernel (only the configured
+  // precision tier is compiled per set_channel).
+  PathPlan plan64_;
+  PathPlanF plan32_;
+  // Per-worker reconstruction scratch plus the reusable grid output, kept
+  // across detect_batch calls so repeated per-subcarrier batches stay at
+  // their high-water mark (zero steady-state allocations).  Guarded by the
+  // detect_batch contract (one driver thread at a time).
   mutable detect::WorkspaceBank workspaces_;
+  mutable PathGridOutput grid_;
 };
 
 }  // namespace flexcore::detect

@@ -1,15 +1,20 @@
 // The flat task grids at the heart of FlexCore's parallel detection (paper
 // §4): the GPU implementation generates Nsc * |E| threads (FlexCore) or
 // Nsc * |Q|^L threads (FCSD); here the same grids are executed by a
-// ThreadPool.
+// ThreadPool, with each task scanning its paths through the lane-parallel
+// block kernel (detect/path_kernels.h) where the detector provides one.
 //
 // Two granularities are provided:
 //  * run_path_grid  — the single-channel (vector x path) grid behind
 //    Detector::detect_batch; the Fig. 11 benchmark times exactly this grid.
 //  * run_frame_grid — the multi-channel (subcarrier x vector x path) grid
 //    behind api::UplinkPipeline::detect_frame: one flat job covering every
-//    subcarrier of an OFDM frame, with all rotated vectors living in one
-//    reusable flat buffer so steady-state tasks allocate nothing.
+//    subcarrier of an OFDM frame.
+//
+// Both grids write into caller-owned output structs whose buffers are
+// resized, never shrunk, so steady-state runs perform zero heap
+// allocations (verified by the operator-new-counting tests in
+// tests/frame_test.cpp).
 #pragma once
 
 #include <chrono>
@@ -19,31 +24,78 @@
 #include <span>
 #include <vector>
 
+#include "linalg/simd.h"
 #include "linalg/types.h"
 #include "parallel/thread_pool.h"
 
 namespace flexcore::detect {
 
-/// A detector whose per-vector work decomposes into independent fixed paths.
+/// A detector whose per-vector work decomposes into independent fixed
+/// paths, with allocation-free span kernels: rotate_into writes ybar = Q^H y
+/// into a caller buffer and path_metric scores one path of a rotated
+/// vector.
 template <typename D>
 concept PathParallelDetector = requires(const D& d, const linalg::CVec& y,
+                                        std::span<linalg::cplx> out,
+                                        std::span<const linalg::cplx> ybar,
                                         std::size_t i) {
-  { d.path_metric(y, i) } -> std::convertible_to<double>;
-  { d.rotate(y) } -> std::convertible_to<linalg::CVec>;
-};
-
-/// A path-parallel detector with allocation-free span kernels, as required
-/// by the multi-channel frame grid.
-template <typename D>
-concept FrameParallelDetector = requires(const D& d, const linalg::CVec& y,
-                                         std::span<linalg::cplx> out,
-                                         std::span<const linalg::cplx> ybar,
-                                         std::size_t i) {
   d.rotate_into(y, out);
   { d.path_metric(ybar, i) } -> std::convertible_to<double>;
 };
 
-/// Output of one single-channel task-grid run.
+/// A path-parallel detector that additionally exposes the lane-parallel
+/// block kernel (detect/path_kernels.h): path_metric_block scores a whole
+/// block of paths per call.  The grids use it automatically.
+template <typename D>
+concept BlockKernelDetector =
+    PathParallelDetector<D> &&
+    requires(const D& d, std::span<const linalg::cplx> ybar, std::size_t i,
+             double* out) {
+      d.path_metric_block(ybar, i, i, out);
+    };
+
+/// Paths per block-kernel call (= linalg::kSimdLanes).
+inline constexpr std::size_t kPathBlockLanes = linalg::kSimdLanes;
+
+/// Scans paths [0, num_paths) of one rotated vector, tracking the minimum
+/// inline (strict <, first index wins — the sequential reduction's
+/// tie-break, so results are bit-identical at any thread count and block
+/// width).  Uses the block kernel when the detector has one.
+template <typename D>
+inline void scan_paths(const D& det, std::span<const linalg::cplx> ybar,
+                       std::size_t num_paths, std::size_t* best_path,
+                       double* best_metric) {
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_p = 0;
+  if constexpr (BlockKernelDetector<D>) {
+    double m[kPathBlockLanes];
+    for (std::size_t p = 0; p < num_paths; p += kPathBlockLanes) {
+      const std::size_t n = std::min(kPathBlockLanes, num_paths - p);
+      det.path_metric_block(ybar, p, n, m);
+      for (std::size_t k = 0; k < n; ++k) {
+        if (m[k] < best) {
+          best = m[k];
+          best_p = p + k;
+        }
+      }
+    }
+  } else {
+    for (std::size_t p = 0; p < num_paths; ++p) {
+      const double m = det.path_metric(ybar, p);
+      if (m < best) {
+        best = m;
+        best_p = p;
+      }
+    }
+  }
+  *best_path = best_p;
+  *best_metric = best;
+}
+
+/// Output of one single-channel task-grid run.  Rotated inputs live in one
+/// flat buffer, nt per vector; buffers are resized, never shrunk, so
+/// reusing the same PathGridOutput across batches of equal (or smaller)
+/// shape performs no allocation at all.
 ///
 /// A best_metric of +infinity means every path of that vector was
 /// deactivated (FlexCore's out-of-constellation policy).  The grid itself
@@ -51,55 +103,49 @@ concept FrameParallelDetector = requires(const D& d, const linalg::CVec& y,
 /// need full DetectionResults should go through Detector::detect_batch,
 /// which applies it.
 struct PathGridOutput {
-  std::vector<linalg::CVec> ybars;     ///< rotated inputs (Q^H y), per vector
+  std::vector<linalg::cplx> ybars;     ///< flat rotated inputs, nt per vector
   std::vector<std::size_t> best_path;  ///< winning path index per vector
   std::vector<double> best_metric;     ///< its Euclidean distance
+  std::size_t nt = 0;                  ///< levels per rotated vector
   double elapsed_seconds = 0.0;        ///< wall-clock of the task grid
   std::size_t tasks = 0;               ///< vectors * paths
+
+  std::span<const linalg::cplx> ybar(std::size_t v) const {
+    return {ybars.data() + v * nt, nt};
+  }
 };
 
 /// Runs the full vector x path grid for a batch of received vectors (all
-/// sharing the channel installed in `det`) across `pool`.
+/// sharing the channel installed in `det`, whose R has `nt` columns) across
+/// `pool`.  Each task rotates its vector into the flat ybar buffer and
+/// scans its paths with the min-reduction folded inline (the paper's
+/// pipelined minimum tree) — steady-state tasks allocate nothing.
 template <PathParallelDetector D>
-PathGridOutput run_path_grid(const D& det, std::size_t num_paths,
-                             std::span<const linalg::CVec> ys,
-                             parallel::ThreadPool& pool) {
+void run_path_grid(const D& det, std::size_t num_paths,
+                   std::span<const linalg::CVec> ys, std::size_t nt,
+                   parallel::ThreadPool& pool, PathGridOutput* out) {
   const std::size_t nv = ys.size();
-  PathGridOutput out;
-  out.tasks = nv * num_paths;
-  out.best_path.assign(nv, 0);
-  out.best_metric.assign(nv, std::numeric_limits<double>::infinity());
-  if (nv == 0 || num_paths == 0) return out;
+  out->nt = nt;
+  out->tasks = nv * num_paths;
+  out->ybars.resize(nv * nt);
+  out->best_path.assign(nv, 0);
+  out->best_metric.assign(nv, std::numeric_limits<double>::infinity());
+  if (nv == 0 || num_paths == 0) {
+    out->elapsed_seconds = 0.0;
+    return;
+  }
 
   // Rotation (ybar = Q^H y) is part of the measured work, as in the paper's
   // kernel timing.
   const auto t0 = std::chrono::steady_clock::now();
-
-  out.ybars.resize(nv);
-  pool.parallel_for(nv, [&](std::size_t v) { out.ybars[v] = det.rotate(ys[v]); });
-
-  std::vector<double> metrics(out.tasks);
-  pool.parallel_for(
-      out.tasks,
-      [&](std::size_t t) {
-        metrics[t] = det.path_metric(out.ybars[t / num_paths], t % num_paths);
-      },
-      /*chunk=*/num_paths);  // one vector's paths per chunk: cache-friendly
-
-  // Min-reduction per vector (the paper's pipelined minimum tree).
   pool.parallel_for(nv, [&](std::size_t v) {
-    const double* m = metrics.data() + v * num_paths;
-    std::size_t best = 0;
-    for (std::size_t p = 1; p < num_paths; ++p) {
-      if (m[p] < m[best]) best = p;
-    }
-    out.best_path[v] = best;
-    out.best_metric[v] = m[best];
+    const std::span<linalg::cplx> ybar{out->ybars.data() + v * nt, nt};
+    det.rotate_into(ys[v], ybar);
+    scan_paths(det, std::span<const linalg::cplx>(ybar), num_paths,
+               &out->best_path[v], &out->best_metric[v]);
   });
-
-  out.elapsed_seconds =
+  out->elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  return out;
 }
 
 /// Output of one multi-channel frame-grid run.  "Unit" u = f * nv + t is
@@ -124,11 +170,10 @@ struct FrameGridOutput {
 /// per-subcarrier detector (channel already installed) evaluating
 /// `num_paths[f]` paths for each of the `vectors_per_channel` vectors
 /// `ys[f * vectors_per_channel + ...]`.  Each task rotates its vector into
-/// the flat ybar buffer and scans its paths with the metric-only span
-/// kernel, tracking the minimum inline (strict <, first index wins — the
-/// same tie-break as the sequential reduction, so results are bit-identical
-/// at any thread count).  Steady-state tasks perform zero heap allocations.
-template <FrameParallelDetector D>
+/// the flat ybar buffer and scans its paths (block kernel where available,
+/// scalar metric otherwise) with the minimum tracked inline.  Steady-state
+/// tasks perform zero heap allocations.
+template <PathParallelDetector D>
 void run_frame_grid(std::span<const D* const> dets,
                     std::span<const std::size_t> num_paths,
                     std::span<const linalg::CVec> ys,
@@ -155,18 +200,8 @@ void run_frame_grid(std::span<const D* const> dets,
     const D& det = *dets[f];
     const std::span<linalg::cplx> ybar{out->ybars.data() + u * nt, nt};
     det.rotate_into(ys[u], ybar);
-    const std::size_t paths = num_paths[f];
-    double best = std::numeric_limits<double>::infinity();
-    std::size_t best_p = 0;
-    for (std::size_t p = 0; p < paths; ++p) {
-      const double m = det.path_metric(std::span<const linalg::cplx>(ybar), p);
-      if (m < best) {
-        best = m;
-        best_p = p;
-      }
-    }
-    out->best_path[u] = best_p;
-    out->best_metric[u] = best;
+    scan_paths(det, std::span<const linalg::cplx>(ybar), num_paths[f],
+               &out->best_path[u], &out->best_metric[u]);
   });
   out->elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();

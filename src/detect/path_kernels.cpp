@@ -1,0 +1,426 @@
+#include "detect/path_kernels.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <stdexcept>
+
+namespace flexcore::detect {
+
+template <typename T>
+void PathPlanT<T>::compile_channel(const linalg::CMat& r,
+                                   const modulation::Constellation& c,
+                                   bool with_diag_inverse) {
+  const std::size_t nt = r.cols();
+  if (nt == 0 || nt > kMaxLevels) {
+    throw std::invalid_argument("PathPlan: need 1 <= Nt <= 32");
+  }
+  nt_ = nt;
+  q_ = c.order();
+  side_ = c.side();
+  scale_ = c.scale();
+  inv_scale_ = c.inv_scale();
+  c_ = &c;
+
+  r_.resize(nt * nt);
+  for (std::size_t i = 0; i < nt; ++i) {
+    for (std::size_t j = 0; j < nt; ++j) r_.set(i * nt + j, r(i, j));
+  }
+
+  // rx[i][x] = R(i,i) * point(x), the same double product the scalar
+  // detectors tabulate — computed here so the plan is self-contained, and
+  // bit-identical because it is the identical operation on identical
+  // values (guarded by tests/kernel_test.cpp).
+  const std::size_t q = static_cast<std::size_t>(q_);
+  rx_.resize(nt * q);
+  for (std::size_t i = 0; i < nt; ++i) {
+    const linalg::cplx rii = r(i, i);
+    for (std::size_t x = 0; x < q; ++x) {
+      rx_.set(i * q + x, rii * c.point(static_cast<int>(x)));
+    }
+  }
+
+  pt_.assign(c.points());
+
+  if (with_diag_inverse) {
+    rdi_.resize(nt);
+    for (std::size_t i = 0; i < nt; ++i) {
+      rdi_.set(i, linalg::cplx{1.0, 0.0} / r(i, i));
+    }
+  } else {
+    rdi_.clear();
+  }
+}
+
+template <typename T>
+void PathPlanT<T>::compile_flexcore(const linalg::CMat& r,
+                                    std::span<const core::RankedPath> paths,
+                                    const modulation::Constellation& c,
+                                    const core::OrderingLut& lut,
+                                    bool exact_ordering,
+                                    core::InvalidEntryPolicy policy) {
+  compile_channel(r, c, /*with_diag_inverse=*/true);
+  num_paths_ = paths.size();
+  lut_ = &lut;
+  policy_ = policy;
+  full_levels_ = 0;
+  powq_.clear();
+  mode_ = exact_ordering ? Mode::kExactRank
+          : policy == core::InvalidEntryPolicy::kDeactivate
+              ? Mode::kLutRank
+              : Mode::kGenericRank;
+
+  // Selector table, path-major-blocked.  Tail lanes of the last block get
+  // rank 1; their metrics are computed and discarded, never emitted.
+  const std::size_t nb = linalg::simd_blocks(num_paths_);
+  ranks_.assign(nb * nt_ * kLanes, 1);
+  for (std::size_t p = 0; p < num_paths_; ++p) {
+    const core::PositionVector& pv = paths[p].p;
+    assert(pv.size() == nt_);
+    const std::size_t b = p / kLanes;
+    const std::size_t l = p % kLanes;
+    for (std::size_t i = 0; i < nt_; ++i) {
+      ranks_[(b * nt_ + i) * kLanes + l] = pv[i];
+    }
+  }
+
+  // Rank-1 uniformity flags: a most-promising path set is rank 1 at almost
+  // every (path, level), and the LUT's first entry is the slicer center
+  // itself (offset (0,0), invariant under all 8 transforms).  Where a whole
+  // block agrees, the kernel skips the residual/triangle math and the table
+  // gather entirely — only when the base order really starts at the center,
+  // which compile verifies rather than assumes.
+  all_rank_one_.assign(nb * nt_, 0);
+  const auto& base0 = lut.base_order().front();
+  if (mode_ == Mode::kLutRank && base0.di == 0 && base0.dq == 0) {
+    for (std::size_t b = 0; b < nb; ++b) {
+      for (std::size_t i = 0; i < nt_; ++i) {
+        const std::int32_t* lane = ranks_.data() + (b * nt_ + i) * kLanes;
+        bool all_one = true;
+        for (std::size_t l = 0; l < kLanes; ++l) all_one &= lane[l] == 1;
+        all_rank_one_[b * nt_ + i] = all_one;
+      }
+    }
+  }
+
+  // Expand the canonical triangle order under all 8 dihedral transforms so
+  // the per-lane lookup needs no reflection logic — the same swap-then-flip
+  // sequence OrderingLut::kth_symbol applies per entry.
+  if (mode_ == Mode::kLutRank) {
+    const auto& base = lut.base_order();
+    const std::size_t q = base.size();
+    lut_di_.resize(8 * q);
+    lut_dq_.resize(8 * q);
+    for (int t = 0; t < 8; ++t) {
+      const bool swap_axes = (t & 4) != 0;
+      const bool flip_u = (t & 2) != 0;
+      const bool flip_v = (t & 1) != 0;
+      for (std::size_t k = 0; k < q; ++k) {
+        int di = base[k].di;
+        int dq = base[k].dq;
+        if (swap_axes) std::swap(di, dq);
+        if (flip_u) di = -di;
+        if (flip_v) dq = -dq;
+        lut_di_[static_cast<std::size_t>(t) * q + k] =
+            static_cast<std::int8_t>(di);
+        lut_dq_[static_cast<std::size_t>(t) * q + k] =
+            static_cast<std::int8_t>(dq);
+      }
+    }
+  }
+}
+
+template <typename T>
+void PathPlanT<T>::compile_fcsd(const linalg::CMat& r, std::size_t full_levels,
+                                const modulation::Constellation& c) {
+  if (full_levels > r.cols()) {
+    throw std::invalid_argument("PathPlan: fcsd full_levels > Nt");
+  }
+  compile_channel(r, c, /*with_diag_inverse=*/false);
+  mode_ = Mode::kFcsd;
+  full_levels_ = full_levels;
+  lut_ = nullptr;
+  ranks_.clear();
+  powq_.resize(full_levels);
+  num_paths_ = 1;
+  for (std::size_t d = 0; d < full_levels; ++d) {
+    powq_[d] = num_paths_;
+    num_paths_ *= static_cast<std::size_t>(q_);
+  }
+}
+
+namespace {
+
+/// Round to nearest, ties away from zero — std::lround's rule — as
+/// branch-light, auto-vectorizable arithmetic (no libm call).  Matches
+/// lround bit-for-bit on every value the detectors can produce: the 1e9
+/// clamp only engages for effective points astronomically far outside any
+/// constellation, where both implementations land on an out-of-range axis
+/// index and the entry deactivates either way.
+inline int round_half_away(double a) noexcept {
+  // !(a < 1e9) also catches NaN (a rank-deficient channel propagates NaN
+  // through 1/R(i,i)): it folds to the upper clamp — defined behavior,
+  // lands outside any constellation, and the entry deactivates, where
+  // casting NaN to int would be UB.
+  const double c = !(a < 1e9) ? 1e9 : (a < -1e9 ? -1e9 : a);
+  const int t = static_cast<int>(c);  // trunc toward zero
+  const double f = c - static_cast<double>(t);
+  return t + (f >= 0.5 ? 1 : 0) - (f <= -0.5 ? 1 : 0);
+}
+
+// The lane-block register type of the kernel.  GCC/Clang vector extensions
+// pin the codegen: element-wise IEEE ops on kLanes-wide values, lowered to
+// whatever SIMD width the target has — no auto-vectorizer guesswork (the
+// loop vectorizer likes to fuse the j-recurrence across iterations, which
+// costs a storm of cross-lane shuffles).  Element-wise semantics are
+// identical to the scalar formulas, so bit-identity is untouched.  The
+// fallback struct keeps other compilers correct, just slower.
+#if defined(__GNUC__) || defined(__clang__)
+template <typename T, std::size_t N>
+struct LaneVecOf {
+  typedef T type __attribute__((vector_size(sizeof(T) * N)));
+};
+#else
+template <typename T, std::size_t N>
+struct LaneVecFallback {
+  T v[N];
+  T operator[](std::size_t i) const { return v[i]; }
+  T& operator[](std::size_t i) { return v[i]; }
+  friend LaneVecFallback operator*(const LaneVecFallback& a,
+                                   const LaneVecFallback& b) {
+    LaneVecFallback r;
+    for (std::size_t i = 0; i < N; ++i) r.v[i] = a.v[i] * b.v[i];
+    return r;
+  }
+  friend LaneVecFallback operator+(const LaneVecFallback& a,
+                                   const LaneVecFallback& b) {
+    LaneVecFallback r;
+    for (std::size_t i = 0; i < N; ++i) r.v[i] = a.v[i] + b.v[i];
+    return r;
+  }
+  friend LaneVecFallback operator-(const LaneVecFallback& a,
+                                   const LaneVecFallback& b) {
+    LaneVecFallback r;
+    for (std::size_t i = 0; i < N; ++i) r.v[i] = a.v[i] - b.v[i];
+    return r;
+  }
+  LaneVecFallback& operator-=(const LaneVecFallback& o) {
+    for (std::size_t i = 0; i < N; ++i) v[i] -= o.v[i];
+    return *this;
+  }
+};
+template <typename T, std::size_t N>
+struct LaneVecOf {
+  using type = LaneVecFallback<T, N>;
+};
+#endif
+
+/// Broadcast a scalar across all lanes.
+template <typename V, typename T>
+inline V splat(T s) noexcept {
+  V v{};
+  for (std::size_t i = 0; i < sizeof(V) / sizeof(T); ++i) v[i] = s;
+  return v;
+}
+
+}  // namespace
+
+template <typename T>
+void PathPlanT<T>::eval_block(const linalg::cplx* ybar, std::size_t block,
+                              double out[kLanes]) const {
+  const std::size_t nt = nt_;
+  const std::size_t q = static_cast<std::size_t>(q_);
+  const std::size_t path0 = block * kLanes;
+
+  // Lane-parallel walk state: lane = path.  Same per-level recurrence as
+  // the scalar path_metric, with the complex arithmetic written split over
+  // LaneVec registers (element-wise, branch-free).
+  using VecT = typename LaneVecOf<T, kLanes>::type;
+  VecT br, bi;
+  VecT er{}, ei{};
+  VecT acc{};
+  VecT sre[kMaxLevels], sim[kMaxLevels];
+  std::int32_t xs[kLanes];
+  std::uint8_t dead[kLanes] = {};
+
+  const std::int32_t* sel_base =
+      mode_ == Mode::kFcsd ? nullptr : ranks_.data() + block * nt * kLanes;
+
+  for (std::size_t ii = 0; ii < nt; ++ii) {
+    const std::size_t i = nt - 1 - ii;
+
+    // b = ybar[i] - sum_{j>i} R(i,j) * s[j]  (Eq. 5 numerator), all lanes.
+    br = splat<VecT>(static_cast<T>(ybar[i].real()));
+    bi = splat<VecT>(static_cast<T>(ybar[i].imag()));
+    const T* rrow_re = r_.re.data() + i * nt;
+    const T* rrow_im = r_.im.data() + i * nt;
+    for (std::size_t j = i + 1; j < nt; ++j) {
+      const VecT rr = splat<VecT>(rrow_re[j]);
+      const VecT rj = splat<VecT>(rrow_im[j]);
+      br -= rr * sre[j] - rj * sim[j];
+      bi -= rr * sim[j] + rj * sre[j];
+    }
+
+    // Per-lane symbol decision (the data-dependent gather step).
+    if (mode_ == Mode::kFcsd) {
+      if (ii < full_levels_) {
+        // Enumerated level: base-|Q| digit ii of the path index.
+        const std::size_t pw = powq_[ii];
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          xs[l] = static_cast<std::int32_t>(((path0 + l) / pw) % q);
+        }
+      } else {
+        // Greedy extension: nearest point to b / R(i,i) — the complex
+        // division stays std::complex (the scalar kernel's exact library
+        // semantics), the slice is the same round-and-clamp inlined.
+        const std::complex<T> rd{rrow_re[i], rrow_im[i]};
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          const std::complex<T> bq = std::complex<T>{br[l], bi[l]} / rd;
+          const double qr = static_cast<double>(bq.real());
+          const double qi = static_cast<double>(bq.imag());
+          const int ir = std::clamp(
+              round_half_away((qr * inv_scale_ + (side_ - 1)) / 2.0), 0,
+              side_ - 1);
+          const int iq = std::clamp(
+              round_half_away((qi * inv_scale_ + (side_ - 1)) / 2.0), 0,
+              side_ - 1);
+          xs[l] = ir * side_ + iq;
+        }
+      }
+    } else {
+      // eff = b * (1/R(i,i)): the naive complex product, as std::complex
+      // multiplication evaluates for finite values.
+      const VecT rdr = splat<VecT>(rdi_.re[i]);
+      const VecT rdj = splat<VecT>(rdi_.im[i]);
+      er = br * rdr - bi * rdj;
+      ei = br * rdj + bi * rdr;
+      const std::int32_t* sel = sel_base + i * kLanes;
+      if (mode_ == Mode::kLutRank) {
+        // Branch-light split lookup, phased: (A) the slicer prescaling per
+        // lane (the glue stays double and uses the constellation's shared
+        // inv_scale(), so the fp64 tier reproduces OrderingLut::kth_symbol
+        // exactly), then either the rank-1 fast path (rounded slicer
+        // center + bounds check, no residual/triangle work — most
+        // block-levels of a most-promising path set) or the general path
+        // (B: center rounding + triangle classification, C: per-lane
+        // table gathers and bounds checks).
+        double ar[kLanes], aq[kLanes];
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          ar[l] = (static_cast<double>(er[l]) * inv_scale_ + (side_ - 1)) / 2.0;
+          aq[l] = (static_cast<double>(ei[l]) * inv_scale_ + (side_ - 1)) / 2.0;
+        }
+        if (all_rank_one_[block * nt + i]) {
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            const std::int32_t cil = round_half_away(ar[l]);
+            const std::int32_t cql = round_half_away(aq[l]);
+            const bool valid = !dead[l] && cil >= 0 && cil < side_ &&
+                               cql >= 0 && cql < side_;
+            xs[l] = valid ? cil * side_ + cql : 0;
+            dead[l] = valid ? 0 : 1;
+          }
+        } else {
+          std::int32_t ci[kLanes], cq[kLanes], tri[kLanes];
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            const int cil = round_half_away(ar[l]);
+            const int cql = round_half_away(aq[l]);
+            const double u = static_cast<double>(er[l]) -
+                             (2.0 * cil - (side_ - 1)) * scale_;
+            const double v = static_cast<double>(ei[l]) -
+                             (2.0 * cql - (side_ - 1)) * scale_;
+            const double au = std::fabs(u);
+            const double av = std::fabs(v);
+            ci[l] = cil;
+            cq[l] = cql;
+            tri[l] = (av > au ? 4 : 0) | (u < 0.0 ? 2 : 0) | (v < 0.0 ? 1 : 0);
+          }
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            if (dead[l]) {
+              xs[l] = 0;  // lane already deactivated; keep the walk defined
+              continue;
+            }
+            const std::int32_t k = sel[l];
+            int x = -1;
+            if (k >= 1 && k <= q_) {
+              const std::size_t e =
+                  static_cast<std::size_t>(tri[l]) * q +
+                  static_cast<std::size_t>(k - 1);
+              const int ai = ci[l] + lut_di_[e];
+              const int aq2 = cq[l] + lut_dq_[e];
+              if (ai >= 0 && ai < side_ && aq2 >= 0 && aq2 < side_) {
+                x = ai * side_ + aq2;
+              }
+            }
+            if (x < 0) {
+              dead[l] = 1;
+              xs[l] = 0;
+            } else {
+              xs[l] = x;
+            }
+          }
+        }
+      } else {
+        // Ablation modes: per-lane calls into the reference lookups.
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          if (dead[l]) {
+            xs[l] = 0;
+            continue;
+          }
+          const linalg::cplx eff{static_cast<double>(er[l]),
+                                 static_cast<double>(ei[l])};
+          const int x = mode_ == Mode::kGenericRank
+                            ? lut_->kth_symbol(eff, sel[l], policy_)
+                            : c_->kth_nearest_exact(eff, sel[l]);
+          if (x < 0) {
+            dead[l] = 1;
+            xs[l] = 0;
+          } else {
+            xs[l] = x;
+          }
+        }
+      }
+    }
+
+    // Decided point + partial Euclidean distance, all lanes.
+    const T* rx_re_row = rx_.re.data() + i * q;
+    const T* rx_im_row = rx_.im.data() + i * q;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const std::int32_t x = xs[l];
+      sre[i][l] = pt_.re[static_cast<std::size_t>(x)];
+      sim[i][l] = pt_.im[static_cast<std::size_t>(x)];
+      const T dr = br[l] - rx_re_row[static_cast<std::size_t>(x)];
+      const T dj = bi[l] - rx_im_row[static_cast<std::size_t>(x)];
+      acc[l] += dr * dr + dj * dj;
+    }
+  }
+
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    out[l] = dead[l] ? std::numeric_limits<double>::infinity()
+                     : static_cast<double>(acc[l]);
+  }
+}
+
+template <typename T>
+void PathPlanT<T>::path_metric_block(std::span<const linalg::cplx> ybar,
+                                     std::size_t first_path,
+                                     std::size_t n_paths, double* out) const {
+  assert(compiled() && ybar.size() == nt_);
+  assert(first_path + n_paths <= num_paths_);
+  double tmp[kLanes];
+  std::size_t written = 0;
+  while (written < n_paths) {
+    const std::size_t p = first_path + written;
+    const std::size_t block = p / kLanes;
+    const std::size_t lane0 = p % kLanes;
+    eval_block(ybar.data(), block, tmp);
+    const std::size_t take = std::min(n_paths - written, kLanes - lane0);
+    for (std::size_t k = 0; k < take; ++k) out[written + k] = tmp[lane0 + k];
+    written += take;
+  }
+}
+
+template class PathPlanT<double>;
+template class PathPlanT<float>;
+
+}  // namespace flexcore::detect

@@ -1,0 +1,165 @@
+// The lane-parallel path-kernel engine: compiled PathPlans and the
+// path_metric_block kernel behind the detection grids.
+//
+// FlexCore's premise (paper §4) is that detection decomposes into thousands
+// of tiny identical per-path programs a massively parallel substrate runs
+// in lockstep.  The scalar CPU port kept each path as branchy
+// std::complex<double> code; this engine maps the paper's SIMT grid onto
+// CPU SIMD lanes instead:
+//
+//  * At preprocessing time (set_channel) the detector COMPILES its path set
+//    into a PathPlan: per-level symbol selectors laid out path-major-blocked
+//    (blocks of kLanes paths, selectors of one level contiguous across the
+//    block's lanes), the channel state (R rows, 1/R(i,i), the R(i,i)*point
+//    reconstruction table, the constellation points) split into re/im
+//    structure-of-arrays, and the triangle LUT expanded into all 8 dihedral
+//    transforms so the per-level lookup is table-walk + bounds check, no
+//    reflection branches.
+//  * path_metric_block(ybar, first, n, out) then evaluates a whole block of
+//    paths per call: lane = path, the per-level interference-cancellation
+//    loop written as branch-light split real/imag arithmetic the
+//    auto-vectorizer turns into SIMD, with scalar gathers only for the
+//    data-dependent k-th-symbol lookups.
+//
+// The plan is templated on the compute scalar: PathPlan (double) is
+// bit-identical to the detector's scalar path_metric — same operations in
+// the same order on the same values, verified by tests/kernel_test.cpp —
+// while PathPlanF (float) is the reduced-precision tier in the spirit of
+// the paper's fixed-point FPGA datapath (selected by Precision::kFloat32 /
+// the ":fp32" registry spec suffix; see README "Kernel engine & precision
+// tiers" for when it is safe).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/ordering_lut.h"
+#include "core/preprocessing.h"
+#include "linalg/matrix.h"
+#include "linalg/simd.h"
+#include "modulation/constellation.h"
+
+namespace flexcore::detect {
+
+/// Compute tier of the path kernels (and anything else that grows a
+/// reduced-precision variant).  kFloat64 is the exact tier; kFloat32
+/// evaluates the path grid in single precision — winner reconstruction and
+/// everything outside the grid stays double.
+enum class Precision {
+  kFloat64,
+  kFloat32,
+};
+
+/// Registry spec suffix of a tier ("" for fp64, ":fp32" for fp32), the
+/// grammar api::make_detector parses and Detector::name round-trips.
+constexpr const char* precision_suffix(Precision p) noexcept {
+  return p == Precision::kFloat32 ? ":fp32" : "";
+}
+
+/// A compiled, SoA-blocked path set for one installed channel.  Compile
+/// once per set_channel (cheap next to QR + path selection), evaluate with
+/// path_metric_block from any thread — the plan is immutable after
+/// compilation and evaluation touches only stack scratch.
+template <typename T>
+class PathPlanT {
+ public:
+  /// Paths per block (lanes per path_metric_block call).
+  static constexpr std::size_t kLanes = linalg::kSimdLanes;
+  /// Tree-depth cap shared with the scalar kernels (Nt <= 32).
+  static constexpr std::size_t kMaxLevels = 32;
+
+  /// Compiles a FlexCore path set: `paths[p].p[i]` is the 1-based closeness
+  /// rank at level i.  `exact_ordering` selects the exhaustive-sort
+  /// ablation instead of the triangle LUT; `policy` is the detector's
+  /// invalid-entry policy (kDeactivate compiles to the branch-light
+  /// transformed-LUT fast path, kSkipToValid falls back to per-lane
+  /// OrderingLut calls).  `lut` must outlive the plan.
+  void compile_flexcore(const linalg::CMat& r,
+                        std::span<const core::RankedPath> paths,
+                        const modulation::Constellation& c,
+                        const core::OrderingLut& lut, bool exact_ordering,
+                        core::InvalidEntryPolicy policy);
+
+  /// Compiles the FCSD path set: |Q|^full_levels paths whose base-|Q|
+  /// digits enumerate the top levels (decoded on the fly — the selector
+  /// table would dwarf the channel state for L = 2) and whose remaining
+  /// levels extend greedily by nearest-point slicing.
+  void compile_fcsd(const linalg::CMat& r, std::size_t full_levels,
+                    const modulation::Constellation& c);
+
+  void clear() { nt_ = num_paths_ = 0; }
+  bool compiled() const noexcept { return nt_ != 0; }
+  std::size_t num_paths() const noexcept { return num_paths_; }
+  std::size_t levels() const noexcept { return nt_; }
+
+  /// Evaluates paths [first_path, first_path + n_paths) against the rotated
+  /// vector `ybar` (length levels()), writing one Euclidean metric per path
+  /// to `out` (+infinity for deactivated paths).  Equals the detector's
+  /// scalar path_metric per path — bitwise for T = double.  Whole blocks
+  /// are evaluated internally, so aligning first_path to kLanes avoids
+  /// wasted lanes; any alignment is correct.
+  void path_metric_block(std::span<const linalg::cplx> ybar,
+                         std::size_t first_path, std::size_t n_paths,
+                         double* out) const;
+
+ private:
+  enum class Mode : std::uint8_t {
+    kLutRank,      ///< FlexCore, triangle LUT, kDeactivate (fast path)
+    kGenericRank,  ///< FlexCore, triangle LUT, kSkipToValid (per-lane calls)
+    kExactRank,    ///< FlexCore, exhaustive per-level sort (ablation)
+    kFcsd,         ///< FCSD digit enumeration + greedy slicing
+  };
+
+  void compile_channel(const linalg::CMat& r,
+                       const modulation::Constellation& c,
+                       bool with_diag_inverse);
+  void eval_block(const linalg::cplx* ybar, std::size_t block,
+                  double out[kLanes]) const;
+
+  Mode mode_ = Mode::kLutRank;
+  std::size_t nt_ = 0;         ///< levels (0 = not compiled)
+  std::size_t num_paths_ = 0;  ///< paths the plan covers
+  int q_ = 0;                  ///< constellation order
+  int side_ = 0;               ///< sqrt(order)
+  double scale_ = 0.0;         ///< constellation PAM half-step
+  double inv_scale_ = 0.0;     ///< Constellation::inv_scale() (slicer)
+
+  // Channel state, split re/im.  R rows are stored dense row-major (only
+  // the upper triangle is read); rdi is 1/R(i,i); rx[i*q + x] is
+  // R(i,i) * point(x); pt is the constellation point table.
+  linalg::SplitVec<T> r_, rdi_, rx_, pt_;
+
+  // FlexCore selector table, path-major-blocked:
+  //   ranks_[(block * nt_ + level) * kLanes + lane]
+  // is the 1-based closeness rank of path block*kLanes+lane at `level`
+  // (tail lanes of the last block hold rank 1 and are never emitted).
+  std::vector<std::int32_t> ranks_;
+  // all_rank_one_[block * nt_ + level]: every lane of the block selects
+  // rank 1 there, so the k-th-symbol lookup reduces to the slicer center
+  // (see compile_flexcore).
+  std::vector<std::uint8_t> all_rank_one_;
+
+  // Expanded triangle LUT: entry [t * q + (k-1)] is base-order entry k
+  // under dihedral transform t = swap*4 | flip_u*2 | flip_v.
+  std::vector<std::int8_t> lut_di_, lut_dq_;
+
+  // FCSD digit decode: powq_[d] = |Q|^d for the enumerated levels.
+  std::size_t full_levels_ = 0;
+  std::vector<std::size_t> powq_;
+
+  const modulation::Constellation* c_ = nullptr;  ///< slice / exact order
+  const core::OrderingLut* lut_ = nullptr;        ///< kGenericRank fallback
+  core::InvalidEntryPolicy policy_ = core::InvalidEntryPolicy::kDeactivate;
+};
+
+/// The exact tier (bit-identical to the scalar kernels).
+using PathPlan = PathPlanT<double>;
+/// The reduced-precision tier (paper's fixed-point datapath analogue).
+using PathPlanF = PathPlanT<float>;
+
+extern template class PathPlanT<double>;
+extern template class PathPlanT<float>;
+
+}  // namespace flexcore::detect

@@ -1,0 +1,71 @@
+// Split-complex structure-of-arrays helpers for the lane-parallel kernel
+// engine (detect/path_kernels.h).
+//
+// The convention: a sequence of complex numbers that a hot kernel walks
+// lane-parallel is stored as two contiguous scalar arrays (re[], im[])
+// instead of interleaved std::complex — the layout CPU SIMD units want
+// (every lane loads from the same array at consecutive offsets) and the
+// CPU analogue of the paper's SIMT registers.  Split arithmetic also
+// sidesteps libstdc++'s Annex-G complex multiply/divide helpers
+// (__muldc3 and friends): a split multiply is four independent scalar
+// multiplies the auto-vectorizer can fuse across lanes, with the exact
+// same finite-value results as std::complex.
+//
+// `kSimdLanes` is the block width the path kernels evaluate per call:
+// wide enough to fill an AVX-512 register of doubles (16 lanes would gain
+// little and double the tail waste), and a multiple of every narrower
+// vector width so the tail handling stays in one place.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/types.h"
+
+namespace flexcore::linalg {
+
+/// Paths evaluated per path_metric_block call (lanes per block).
+inline constexpr std::size_t kSimdLanes = 8;
+
+/// Rounds a count up to whole blocks of kSimdLanes.
+inline constexpr std::size_t simd_blocks(std::size_t n) noexcept {
+  return (n + kSimdLanes - 1) / kSimdLanes;
+}
+
+/// A complex sequence stored as two parallel scalar arrays, in precision T
+/// (double for the exact tier, float for the reduced-precision tier).
+template <typename T>
+struct SplitVec {
+  std::vector<T> re, im;
+
+  std::size_t size() const noexcept { return re.size(); }
+
+  void resize(std::size_t n) {
+    re.resize(n);
+    im.resize(n);
+  }
+
+  void clear() {
+    re.clear();
+    im.clear();
+  }
+
+  /// Narrowing element store (exact for T = double).
+  void set(std::size_t i, cplx z) {
+    re[i] = static_cast<T>(z.real());
+    im[i] = static_cast<T>(z.imag());
+  }
+
+  cplx get(std::size_t i) const {
+    return cplx{static_cast<double>(re[i]), static_cast<double>(im[i])};
+  }
+
+  /// Packs an interleaved complex sequence into the split layout.
+  void assign(std::span<const cplx> src) {
+    resize(src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) set(i, src[i]);
+  }
+};
+
+}  // namespace flexcore::linalg

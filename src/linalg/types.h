@@ -1,9 +1,23 @@
 // Basic scalar/vector types shared by the whole library.
 //
-// All signal-processing code in this repository works on complex baseband
-// samples represented as std::complex<double>.  Dimensions are tiny (MIMO
-// sizes up to 16x16), so simplicity and numerical robustness are preferred
-// over blocking/vectorization tricks.
+// Two complex-number representations coexist, by deliberate convention:
+//
+//  * std::complex<double> (`cplx`, interleaved re/im) is the default for
+//    everything off the per-path hot loop — matrices, QR, preprocessing,
+//    channel models, detector plumbing.  Dimensions are tiny (MIMO sizes
+//    up to 16x16), so clarity and numerical robustness win there.
+//  * Split-complex structure-of-arrays (linalg/simd.h: two contiguous
+//    scalar arrays re[], im[], in double or float) is the layout of the
+//    lane-parallel kernel engine (detect/path_kernels.h), where thousands
+//    of identical per-path programs run per received vector and the
+//    auto-vectorizer needs branch-light split arithmetic to fill SIMD
+//    lanes.
+//
+// Use cplx until a loop is hot enough to block over paths; then compile
+// the state into a PathPlan once per channel and evaluate split.  The
+// split double tier is bit-identical to the cplx formulas on finite
+// values (same naive multiply std::complex evaluates to), which is what
+// lets the kernels swap in without changing any result.
 #pragma once
 
 #include <complex>

@@ -24,6 +24,7 @@ Constellation::Constellation(int order) : order_(order) {
   // Unit average energy: E[|s|^2] = 2 * (M - 1) / 3 * step^2 with PAM levels
   // +-1, +-3, ... so the normalizing step is sqrt(3 / (2 (M - 1))).
   scale_ = std::sqrt(3.0 / (2.0 * (order_ - 1)));
+  inv_scale_ = 1.0 / scale_;
 
   points_.resize(static_cast<std::size_t>(order_));
   for (int i = 0; i < side_; ++i) {
@@ -44,14 +45,15 @@ Constellation::Constellation(int order) : order_(order) {
 
 int Constellation::slice(cplx z) const noexcept {
   auto clamp_axis = [this](double coord) {
-    int i = static_cast<int>(std::lround((coord / scale_ + (side_ - 1)) / 2.0));
+    int i = static_cast<int>(
+        std::lround((coord * inv_scale_ + (side_ - 1)) / 2.0));
     return std::clamp(i, 0, side_ - 1);
   };
   return index_from_axes(clamp_axis(z.real()), clamp_axis(z.imag()));
 }
 
 int Constellation::unbounded_axis_index(double coord) const noexcept {
-  return static_cast<int>(std::lround((coord / scale_ + (side_ - 1)) / 2.0));
+  return static_cast<int>(std::lround((coord * inv_scale_ + (side_ - 1)) / 2.0));
 }
 
 int Constellation::kth_nearest_exact(cplx z, int k) const {

@@ -41,6 +41,11 @@ class Constellation {
   int side() const noexcept { return side_; }                  ///< sqrt(M)
   int bits_per_symbol() const noexcept { return bits_; }       ///< log2(M)
   double scale() const noexcept { return scale_; }             ///< PAM step / 2
+  /// Precomputed 1 / scale(): the slicer quantizes by multiplying with
+  /// this (division is the single hottest op on the detection fast path).
+  /// Kernels replicating the slicer must use this same value so their
+  /// decisions stay bit-identical.
+  double inv_scale() const noexcept { return inv_scale_; }
   /// Minimum distance between adjacent constellation points (= 2*scale).
   double min_distance() const noexcept { return 2.0 * scale_; }
 
@@ -92,6 +97,7 @@ class Constellation {
   int side_;
   int bits_;
   double scale_;
+  double inv_scale_;
   std::vector<cplx> points_;
   std::vector<int> gray_to_axis_;  // gray code value -> PAM axis index
   std::vector<int> axis_to_gray_;  // PAM axis index -> gray code value

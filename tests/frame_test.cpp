@@ -51,6 +51,17 @@ void* operator new(std::size_t sz, std::align_val_t al) {
 void* operator new[](std::size_t sz, std::align_val_t al) {
   return ::operator new(sz, al);
 }
+// The nothrow forms must be overridden too: libstdc++'s stable_sort
+// temporary buffer allocates through operator new(size, nothrow) — leaving
+// it to the default allocator while delete routes to free() is an
+// alloc/dealloc family mismatch under ASan.
+void* operator new(std::size_t sz, const std::nothrow_t&) noexcept {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(sz ? sz : 1);
+}
+void* operator new[](std::size_t sz, const std::nothrow_t& t) noexcept {
+  return ::operator new(sz, t);
+}
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
@@ -61,6 +72,12 @@ void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
   std::free(p);
 }
 void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
   std::free(p);
 }
 
@@ -428,6 +445,72 @@ TEST(FrameGrid, SteadyStateGridDoesNotAllocate) {
     ASSERT_EQ(grid.best_path.size(), nsc * nv);
     for (double m : grid.best_metric) EXPECT_TRUE(std::isfinite(m));
   }
+}
+
+TEST(PathGrid, SteadyStateGridDoesNotAllocate) {
+  // The single-channel grid honours the same contract as the frame grid:
+  // with a warm PathGridOutput (and the per-call metrics vector gone), a
+  // full vector x path run performs ZERO heap allocations — at any thread
+  // count, for both the FlexCore and FCSD block kernels.
+  Constellation c(16);
+  const double noise = ch::noise_var_for_snr_db(12.0);
+  const Frame fr = make_frame(c, 1, 24, 6, 6, noise, 41);
+
+  fc::FlexCoreDetector flex(c, fc::FlexCoreConfig{.num_pes = 16});
+  flex.set_channel(fr.channels[0], noise);
+  fd::FcsdDetector fcsd(c, 1);
+  fcsd.set_channel(fr.channels[0], noise);
+
+  for (std::size_t threads : {1u, 3u}) {
+    flexcore::parallel::ThreadPool pool(threads);
+    fd::PathGridOutput grid;
+    const auto run_both = [&] {
+      fd::run_path_grid(flex, flex.active_paths(), fr.ys, 6, pool, &grid);
+      fd::run_path_grid(fcsd, fcsd.num_paths(), fr.ys, 6, pool, &grid);
+    };
+    run_both();  // warm: grow every buffer to its high-water mark
+    run_both();
+
+    const std::size_t before = g_alloc_calls.load(std::memory_order_relaxed);
+    run_both();
+    const std::size_t after = g_alloc_calls.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u) << "threads=" << threads;
+
+    ASSERT_EQ(grid.best_path.size(), fr.ys.size());
+    for (double m : grid.best_metric) EXPECT_TRUE(std::isfinite(m));
+  }
+}
+
+TEST(Frame, Fp32TierRunsAndStaysClose) {
+  // The ":fp32" compute tier flows end-to-end through the pipeline: the
+  // frame grid runs the single-precision block kernels, winner
+  // reconstruction stays double, and at a comfortable SNR the symbol
+  // decisions match the fp64 tier on the overwhelming majority of
+  // vectors (tests/kernel_test.cpp quantifies the SER gap properly).
+  const double nv = ch::noise_var_for_snr_db(18.0);
+  Constellation c(16);
+  const Frame fr = make_frame(c, 8, 6, 6, 6, nv, 43);
+
+  fa::PipelineConfig c64;
+  c64.detector = "flexcore-16";
+  c64.qam_order = 16;
+  c64.threads = 2;
+  fa::UplinkPipeline p64(c64);
+
+  fa::PipelineConfig c32 = c64;
+  c32.precision = flexcore::detect::Precision::kFloat32;
+  fa::UplinkPipeline p32(c32);
+  EXPECT_EQ(p32.detector().name(), "flexcore-16:fp32");
+
+  const fa::FrameResult r64 = p64.detect_frame(job_of(fr, nv));
+  const fa::FrameResult r32 = p32.detect_frame(job_of(fr, nv));
+  ASSERT_EQ(r32.results.size(), r64.results.size());
+  std::size_t disagreements = 0;
+  for (std::size_t v = 0; v < r64.results.size(); ++v) {
+    disagreements += r32.results[v].symbols != r64.results[v].symbols;
+  }
+  EXPECT_LE(disagreements, r64.results.size() / 10)
+      << "fp32 tier diverged from fp64 on too many vectors";
 }
 
 }  // namespace

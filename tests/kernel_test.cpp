@@ -1,0 +1,250 @@
+// Tests for the lane-parallel path-kernel engine (detect/path_kernels.h):
+// fp64 block kernels bit-identical to the scalar path_metric across
+// detector families x constellations x MIMO sizes, the fp32 tier within a
+// documented SER tolerance on a fig12-style sweep, and the ":fp32" spec
+// grammar round-tripping through the registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "api/detector_registry.h"
+#include "api/uplink_pipeline.h"
+#include "channel/channel.h"
+#include "core/flexcore_detector.h"
+#include "detect/fcsd.h"
+#include "detect/path_kernels.h"
+#include "sim/frame_synth.h"
+
+namespace fa = flexcore::api;
+namespace ch = flexcore::channel;
+namespace fc = flexcore::core;
+namespace fd = flexcore::detect;
+namespace fs = flexcore::sim;
+namespace fl = flexcore::linalg;
+using flexcore::modulation::Constellation;
+
+namespace {
+
+/// Documented fp32 tolerance: the single-precision tier may move the
+/// measured SER by at most this much (absolute) relative to fp64 on a
+/// Rayleigh sweep at operating SNRs.  In practice the gap is orders of
+/// magnitude smaller — fp32 keeps ~7 significant digits and the metric
+/// margins between winning and runner-up paths are far coarser.
+constexpr double kFp32SerTolerance = 5e-3;
+
+fl::CVec random_y(const fl::CMat& h, const Constellation& c, double nv,
+                  ch::Rng& rng) {
+  fl::CVec s(h.cols());
+  for (auto& z : s) {
+    z = c.point(static_cast<int>(
+        rng.uniform_int(static_cast<std::uint64_t>(c.order()))));
+  }
+  return ch::transmit(h, s, nv, rng);
+}
+
+/// Asserts the block kernel reproduces the scalar path_metric bit-for-bit
+/// over every path of one rotated vector.
+template <typename D>
+void expect_block_matches_scalar(const D& det, std::size_t paths,
+                                 const fl::CVec& ybar, const char* what) {
+  std::vector<double> blk(paths);
+  det.path_metric_block(ybar, 0, paths, blk.data());
+  for (std::size_t p = 0; p < paths; ++p) {
+    const double scalar = det.path_metric(ybar, p);
+    EXPECT_EQ(scalar, blk[p]) << what << " path " << p;
+  }
+}
+
+// ----------------------------------------------------- fp64 bit-identity
+
+TEST(KernelEquivalence, FlexCoreFp64BlockMatchesScalar) {
+  for (int qam : {4, 16, 64}) {
+    Constellation c(qam);
+    for (std::size_t nt : {2u, 3u, 4u, 6u, 8u, 12u, 16u}) {
+      ch::Rng rng(100 * static_cast<std::uint64_t>(qam) + nt);
+      const auto h = ch::rayleigh_iid(nt, nt, rng);
+      const double nv = ch::noise_var_for_snr_db(15.0);
+      for (const char* family : {"flexcore-24", "a-flexcore-24"}) {
+        const auto det = fa::make_detector_as<fc::FlexCoreDetector>(
+            family, {.constellation = &c});
+        det->set_channel(h, nv);
+        for (int rep = 0; rep < 4; ++rep) {
+          const fl::CVec ybar = det->rotate(random_y(h, c, nv, rng));
+          expect_block_matches_scalar(*det, det->active_paths(), ybar,
+                                      family);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, FcsdFp64BlockMatchesScalar) {
+  for (int qam : {4, 16, 64}) {
+    Constellation c(qam);
+    for (std::size_t nt : {2u, 4u, 8u, 12u, 16u}) {
+      ch::Rng rng(999 * static_cast<std::uint64_t>(qam) + nt);
+      const auto h = ch::rayleigh_iid(nt, nt, rng);
+      const double nv = ch::noise_var_for_snr_db(15.0);
+      fd::FcsdDetector det(c, 1);
+      det.set_channel(h, nv);
+      for (int rep = 0; rep < 4; ++rep) {
+        const fl::CVec ybar = det.rotate(random_y(h, c, nv, rng));
+        expect_block_matches_scalar(det, det.num_paths(), ybar, "fcsd-L1");
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, DeactivatedPathsMatchAsInfinity) {
+  // Brutal noise pushes effective points far outside the constellation, so
+  // LUT entries deactivate; the block kernel must report exactly the same
+  // +infinity verdicts as the scalar walk.
+  Constellation c(64);
+  ch::Rng rng(7);
+  const auto h = ch::rayleigh_iid(8, 8, rng);
+  const double nv = 4.0;
+  const auto det = fa::make_detector_as<fc::FlexCoreDetector>(
+      "flexcore-32", {.constellation = &c});
+  det->set_channel(h, nv);
+
+  std::size_t saw_inf = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    const fl::CVec ybar = det->rotate(random_y(h, c, nv, rng));
+    std::vector<double> blk(det->active_paths());
+    det->path_metric_block(ybar, 0, blk.size(), blk.data());
+    for (std::size_t p = 0; p < blk.size(); ++p) {
+      const double scalar = det->path_metric(ybar, p);
+      EXPECT_EQ(scalar, blk[p]) << "path " << p;
+      saw_inf += std::isinf(blk[p]);
+    }
+  }
+  EXPECT_GT(saw_inf, 0u)
+      << "scenario no longer deactivates any PE; raise the noise";
+}
+
+TEST(KernelEquivalence, AblationOrderingModesMatchScalar) {
+  // The exact-sort ordering and the skip-to-valid LUT policy compile to
+  // the per-lane fallback modes; both must still match the scalar kernel
+  // bitwise.
+  Constellation c(16);
+  ch::Rng rng(11);
+  const auto h = ch::rayleigh_iid(6, 6, rng);
+  const double nv = ch::noise_var_for_snr_db(12.0);
+
+  fa::DetectorConfig cfg{.constellation = &c};
+  cfg.flexcore.num_pes = 16;
+  cfg.flexcore.ordering = fc::OrderingMode::kExactSort;
+  const auto exact =
+      fa::make_detector_as<fc::FlexCoreDetector>("flexcore-16", cfg);
+  exact->set_channel(h, nv);
+
+  cfg.flexcore.ordering = fc::OrderingMode::kLut;
+  cfg.flexcore.invalid_policy = fc::InvalidEntryPolicy::kSkipToValid;
+  const auto skipper =
+      fa::make_detector_as<fc::FlexCoreDetector>("flexcore-16", cfg);
+  skipper->set_channel(h, nv);
+
+  for (int rep = 0; rep < 4; ++rep) {
+    const fl::CVec y = random_y(h, c, nv, rng);
+    expect_block_matches_scalar(*exact, exact->active_paths(),
+                                exact->rotate(y), "exact-sort");
+    expect_block_matches_scalar(*skipper, skipper->active_paths(),
+                                skipper->rotate(y), "skip-to-valid");
+  }
+}
+
+TEST(KernelEquivalence, MisalignedBlockRangesMatch) {
+  // path_metric_block accepts any (first, n) range, not just whole blocks.
+  Constellation c(16);
+  ch::Rng rng(13);
+  const auto h = ch::rayleigh_iid(6, 6, rng);
+  const double nv = ch::noise_var_for_snr_db(14.0);
+  const auto det = fa::make_detector_as<fc::FlexCoreDetector>(
+      "flexcore-29", {.constellation = &c});
+  det->set_channel(h, nv);
+  const std::size_t paths = det->active_paths();
+  ASSERT_GT(paths, 11u);
+  const fl::CVec ybar = det->rotate(random_y(h, c, nv, rng));
+
+  std::vector<double> all(paths);
+  det->path_metric_block(ybar, 0, paths, all.data());
+  const std::pair<std::size_t, std::size_t> ranges[] = {
+      {3, 5}, {7, 9}, {paths - 3, 3}, {1, paths - 1}};
+  for (const auto& [first, n] : ranges) {
+    std::vector<double> part(n);
+    det->path_metric_block(ybar, first, n, part.data());
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(part[k], all[first + k]) << "first=" << first << " k=" << k;
+    }
+  }
+}
+
+// ----------------------------------------------------- fp32 compute tier
+
+TEST(KernelPrecision, Fp32SerWithinToleranceOnSweep) {
+  // fig12-style sweep: Rayleigh channels, 8 users, 64-QAM, across the
+  // operating SNR range; the fp32 tier's SER may not exceed fp64's by more
+  // than the documented tolerance.
+  Constellation c(64);
+  const std::size_t nt = 8, nsc = 24, nv = 8;
+
+  for (double snr_db : {16.0, 20.0, 24.0}) {
+    const double noise = ch::noise_var_for_snr_db(snr_db);
+    const fs::SynthFrame fr = fs::synth_frame(
+        c, nsc, nv, nt, nt, noise, 5000 + static_cast<std::uint64_t>(snr_db));
+
+    fa::PipelineConfig c64;
+    c64.detector = "flexcore-64";
+    c64.qam_order = 64;
+    c64.threads = 2;
+    fa::UplinkPipeline p64(c64);
+
+    fa::PipelineConfig c32 = c64;
+    c32.precision = fd::Precision::kFloat32;
+    fa::UplinkPipeline p32(c32);
+
+    const auto r64 = p64.detect_frame(fs::frame_job_of(fr, noise));
+    const auto r32 = p32.detect_frame(fs::frame_job_of(fr, noise));
+    const double symbols = static_cast<double>(nsc * nv * nt);
+    const double ser64 =
+        static_cast<double>(fs::count_symbol_errors(fr, r64.results)) / symbols;
+    const double ser32 =
+        static_cast<double>(fs::count_symbol_errors(fr, r32.results)) / symbols;
+    EXPECT_LE(ser32, ser64 + kFp32SerTolerance)
+        << "snr=" << snr_db << " ser64=" << ser64 << " ser32=" << ser32;
+  }
+}
+
+// ------------------------------------------------------- spec grammar
+
+TEST(KernelSpecs, PrecisionSuffixRoundTripsThroughRegistry) {
+  Constellation c(16);
+  const fa::DetectorConfig cfg{.constellation = &c};
+  for (const char* spec :
+       {"flexcore-16:fp32", "a-flexcore-8:fp32", "fcsd-L1:fp32"}) {
+    const auto det = fa::make_detector(spec, cfg);
+    EXPECT_EQ(det->name(), spec);
+    // name() round-trips: constructing from the reported name reproduces
+    // the same detector spelling.
+    EXPECT_EQ(fa::make_detector(det->name(), cfg)->name(), det->name());
+  }
+  // ":fp64" is accepted and normalizes to the suffix-free spelling.
+  EXPECT_EQ(fa::make_detector("flexcore-16:fp64", cfg)->name(),
+            "flexcore-16");
+  // The config knob selects the tier without a suffix...
+  fa::DetectorConfig fp32 = cfg;
+  fp32.precision = fd::Precision::kFloat32;
+  EXPECT_EQ(fa::make_detector("flexcore-16", fp32)->name(),
+            "flexcore-16:fp32");
+  // ...and an explicit suffix overrides the knob.
+  EXPECT_EQ(fa::make_detector("flexcore-16:fp64", fp32)->name(),
+            "flexcore-16");
+  // Families without a reduced-precision tier reject the suffix.
+  EXPECT_THROW(fa::make_detector("zf:fp32", cfg), std::invalid_argument);
+  EXPECT_THROW(fa::make_detector("kbest-8:fp32", cfg), std::invalid_argument);
+}
+
+}  // namespace
