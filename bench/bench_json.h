@@ -3,7 +3,12 @@
 // written to BENCH_<name>.json in the working directory on destruction.
 //
 // Schema (one object per file):
-//   { "bench": "<name>", "rows": [ { "<field>": <value>, ... }, ... ] }
+//   { "bench": "<name>", "hardware_concurrency": <threads>,
+//     "rows": [ { "<field>": <value>, ... }, ... ] }
+//
+// hardware_concurrency records the machine the numbers came from — thread
+// sweeps (runtime, sharded runtime) are meaningless to diff across hosts
+// with different core counts.
 //
 // Rows are flat key -> (string|number) maps, e.g. one row per (panel,
 // detector) with a throughput field.  Keep field names stable: the perf
@@ -13,6 +18,7 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -64,7 +70,9 @@ class BenchJson {
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;
-    std::fprintf(f, "{\"bench\": %s, \"rows\": [\n", quote(name_).c_str());
+    std::fprintf(f, "{\"bench\": %s, \"hardware_concurrency\": %u, "
+                    "\"rows\": [\n",
+                 quote(name_).c_str(), std::thread::hardware_concurrency());
     for (std::size_t r = 0; r < rows_.size(); ++r) {
       std::fprintf(f, "  {");
       for (std::size_t i = 0; i < rows_[r].size(); ++i) {

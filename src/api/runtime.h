@@ -171,9 +171,30 @@ class LatencyHistogram {
   double sum_us_ = 0.0;
 };
 
+/// Per-antenna-cluster counters of a decentralized (sharded) runtime.
+/// Populated only by api::ShardedRuntime::stats() — a monolithic Runtime
+/// reports an empty `shards` vector.  Consistency invariant (checked by
+/// tests): every shard preprocesses every sharded-path frame exactly once,
+/// so `frames` is identical across shards and equals the number of frames
+/// submitted through the decentralized path — the C=1 bypass never reaches
+/// the shard stage, while frames later shed by the inner admission queue
+/// were still preprocessed first (the fronthaul runs before admission).
+struct ShardStats {
+  std::size_t shard_id = 0;
+  std::size_t threads = 0;         ///< workers of this shard's pool
+  std::size_t pinned_workers = 0;  ///< workers whose CPU pin took effect
+  std::uint64_t frames = 0;        ///< frames this shard preprocessed
+  std::uint64_t partials = 0;      ///< per-subcarrier partial QRs computed
+  std::uint64_t rows_processed = 0;  ///< antenna rows factorized, summed
+  double busy_seconds = 0.0;       ///< wall time inside the shard stage
+};
+
 /// Point-in-time snapshot of the runtime's counters (Runtime::stats()).
 struct RuntimeStats {
   std::vector<CellStats> cells;
+  /// Per-antenna-cluster preprocessing counters; empty unless the stats
+  /// came from a ShardedRuntime (see ShardStats).
+  std::vector<ShardStats> shards;
   std::uint64_t frames_in = 0;  ///< sums of the per-cell counters
   std::uint64_t frames_out = 0;
   std::uint64_t frames_dropped = 0;

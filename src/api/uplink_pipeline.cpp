@@ -46,8 +46,27 @@ void validate_frame_job(const FrameJob& job) {
         std::to_string(front.rows()) + "x" + std::to_string(front.cols()) +
         ")");
   }
+  // B >= Nt up front: an under-determined channel would otherwise fail deep
+  // inside the detector's QR ("qr: requires rows >= cols"), asynchronously
+  // on a dispatcher thread when submitted through api::Runtime.
+  if (front.rows() < front.cols()) {
+    throw std::invalid_argument(
+        "FrameJob: " + std::to_string(front.rows()) + " receive antennas < " +
+        std::to_string(front.cols()) +
+        " streams (detection needs B >= Nt)");
+  }
   for (std::size_t f = 0; f < nsc; ++f) {
     const linalg::CMat& h = job.channels[f];
+    if (h.rows() != front.rows()) {
+      // Name the antenna count specifically: every subcarrier of one frame
+      // is received on the SAME physical array, and the sharded runtime's
+      // antenna-cluster plan is computed once per frame from B.
+      throw std::invalid_argument(
+          "FrameJob: subcarrier " + std::to_string(f) + " has " +
+          std::to_string(h.rows()) + " receive antennas, subcarrier 0 has " +
+          std::to_string(front.rows()) +
+          " (all subcarriers share one antenna array)");
+    }
     if (!h.same_shape(front)) {
       throw std::invalid_argument(
           "FrameJob: channel of subcarrier " + std::to_string(f) + " is " +

@@ -117,8 +117,13 @@ struct FrameResult {
 /// std::invalid_argument on degenerate jobs:
 ///   * ys.size() != channels.size() * vectors_per_channel (mismatched
 ///     per-subcarrier batch sizes),
-///   * channels that do not share dimensions,
+///   * channels that do not share dimensions (subcarriers disagreeing on
+///     the receive-antenna count B get a message naming the antennas —
+///     one frame is received on ONE physical array),
 ///   * empty channel matrices (zero rows or columns),
+///   * under-determined channels (B < Nt — detection QR needs rows >= cols;
+///     rejected here, at the submit call site, instead of failing deep in a
+///     dispatcher thread),
 ///   * received vectors whose length differs from the channel row count.
 /// Zero subcarriers and zero vectors_per_channel are NOT errors: the former
 /// yields an empty FrameResult, the latter a preprocessing-only call.

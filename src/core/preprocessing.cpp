@@ -7,7 +7,7 @@
 
 namespace flexcore::core {
 
-std::vector<double> level_error_probabilities(const linalg::CMat& r,
+std::vector<double> level_error_probabilities(linalg::CMatView r,
                                               double noise_var,
                                               const Constellation& c,
                                               modulation::PeModel model) {
@@ -38,7 +38,7 @@ struct NodeGreater {
 
 }  // namespace
 
-PreprocessingResult find_most_promising_paths(const linalg::CMat& r,
+PreprocessingResult find_most_promising_paths(linalg::CMatView r,
                                               double noise_var,
                                               const Constellation& c,
                                               const PreprocessingConfig& cfg) {

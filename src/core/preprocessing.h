@@ -75,13 +75,15 @@ struct PreprocessingResult {
 };
 
 /// Computes the per-level error probabilities Pe(l) from the diagonal of R.
-std::vector<double> level_error_probabilities(const linalg::CMat& r,
+/// Takes a row-range view so the sharded preprocessing can rank paths off a
+/// merged R that lives inside a stacked partial-QR buffer, no copy.
+std::vector<double> level_error_probabilities(linalg::CMatView r,
                                               double noise_var,
                                               const Constellation& c,
                                               modulation::PeModel model);
 
 /// Runs the pre-processing tree search of §3.1.1.
-PreprocessingResult find_most_promising_paths(const linalg::CMat& r,
+PreprocessingResult find_most_promising_paths(linalg::CMatView r,
                                               double noise_var,
                                               const Constellation& c,
                                               const PreprocessingConfig& cfg);

@@ -146,6 +146,25 @@ double CMat::max_abs_diff(const CMat& a, const CMat& b) {
   return m;
 }
 
+void accumulate_gram(CMatView h, CMat* gram) {
+  const std::size_t rows = h.rows();
+  const std::size_t cols = h.cols();
+  assert(gram != nullptr && gram->rows() == cols && gram->cols() == cols);
+  const cplx* data = h.data();
+  cplx* g = gram->data();
+  // Row-by-row rank-1 updates, row-major walk on both sides.  The summation
+  // order over rows matches CMat::operator* (inner dimension ascending), so
+  // a one-shot full-matrix Gram here is bit-identical to h.hermitian() * h.
+  for (std::size_t r = 0; r < rows; ++r) {
+    const cplx* row = data + r * cols;
+    for (std::size_t j = 0; j < cols; ++j) {
+      const cplx hj = std::conj(row[j]);
+      cplx* grow = g + j * cols;
+      for (std::size_t k = 0; k < cols; ++k) grow[k] += hj * row[k];
+    }
+  }
+}
+
 std::string CMat::to_string(int precision) const {
   std::ostringstream os;
   os.precision(precision);

@@ -12,6 +12,8 @@
 
 namespace flexcore::linalg {
 
+class CMatView;
+
 /// Dense complex matrix (row-major).
 ///
 /// Designed for the small, dense problems of MIMO baseband processing
@@ -50,6 +52,12 @@ class CMat {
   /// Raw storage access (row-major), for tight inner loops.
   const cplx* data() const noexcept { return data_.data(); }
   cplx* data() noexcept { return data_.data(); }
+
+  /// Non-owning view of rows [row_begin, row_begin + row_count) — the
+  /// antenna-row submatrix the sharded baseband layer hands each cluster.
+  /// No copy: rows are full-width and contiguous in the row-major storage.
+  /// Defined after CMatView below.
+  CMatView row_range(std::size_t row_begin, std::size_t row_count) const;
 
   /// Extract column c as a vector.
   CVec col(std::size_t c) const;
@@ -93,10 +101,74 @@ class CMat {
   CVec data_;
 };
 
+/// Non-owning, read-only view of a contiguous row range of a CMat — the
+/// "antenna-row submatrix" currency of the decentralized baseband layer
+/// (src/shard/): shard c sees rows [begin, begin + count) of H with zero
+/// copies, because CMat is row-major with full-width rows.  A whole CMat
+/// converts implicitly, so every view-taking routine (QR, Gram
+/// accumulation, preprocessing) keeps accepting plain matrices at call
+/// sites unchanged.  The viewed matrix must outlive the view.
+class CMatView {
+ public:
+  CMatView() = default;
+  /* implicit */ CMatView(const CMat& m)
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()) {}
+  CMatView(const cplx* data, std::size_t rows, std::size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  cplx operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw row-major storage of the viewed rows (contiguous).
+  const cplx* data() const noexcept { return data_; }
+
+  /// Extract column c as a vector (copies — columns are strided).
+  CVec col(std::size_t c) const {
+    assert(c < cols_);
+    CVec out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+    return out;
+  }
+
+  /// Materialize the view as an owning matrix (the working copy QR makes).
+  CMat materialize() const;
+
+ private:
+  const cplx* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+inline CMatView CMat::row_range(std::size_t row_begin,
+                                std::size_t row_count) const {
+  assert(row_begin + row_count <= rows_);
+  return CMatView(data() + row_begin * cols_, row_count, cols_);
+}
+
+inline CMat CMatView::materialize() const {
+  CMat out(rows_, cols_);
+  for (std::size_t i = 0; i < rows_ * cols_; ++i) out.data()[i] = data_[i];
+  return out;
+}
+
+/// gram += h^H h, accumulated row by row — the decentralized Gram update:
+/// each antenna row of H contributes an independent rank-1 term, so
+/// per-cluster partial Grams over disjoint row ranges sum to the full
+/// H^H H.  `gram` must be cols x cols (zero it first for a fresh Gram).
+void accumulate_gram(CMatView h, CMat* gram);
+
 /// out = m^H v without materializing the Hermitian transpose or any
 /// temporary (out.size() must equal m.cols()).  This is the rotation
-/// kernel (ybar = Q^H y) of the zero-allocation detection grids.
-inline void hermitian_mul_into(const CMat& m, const CVec& v,
+/// kernel (ybar = Q^H y) of the zero-allocation detection grids; the
+/// span-in/span-out shape also serves the shard layer, which rotates the
+/// row slice of y that its antenna cluster observed.
+inline void hermitian_mul_into(CMatView m, std::span<const cplx> v,
                                std::span<cplx> out) {
   const std::size_t rows = m.rows();
   const std::size_t cols = m.cols();

@@ -17,13 +17,17 @@ constexpr double kRankTol = 1e-12;
 // Shared MGS core: orthogonalizes the columns of `a` in the order chosen by
 // `pick_next`, which receives the current residual column norms (squared,
 // NaN for already-processed columns) and returns the column to process.
-template <typename PickFn>
-QrResult mgs_core(const CMat& h, PickFn pick_next) {
+// With Tolerant set, a pivot below the rank tolerance produces a zero Q
+// column / zero R row instead of throwing (the shard-partial contract of
+// qr_mgs_tolerant); the branch is compile-time, so the full-rank code path
+// is the same instructions either way.
+template <bool Tolerant = false, typename PickFn>
+QrResult mgs_core(CMatView h, PickFn pick_next) {
   const std::size_t nr = h.rows();
   const std::size_t nt = h.cols();
   if (nr < nt) throw std::runtime_error("qr: requires rows >= cols");
 
-  CMat a = h;  // residual columns get overwritten in place
+  CMat a = h.materialize();  // residual columns get overwritten in place
   CMat q(nr, nt);
   CMat r(nt, nt);
   std::vector<std::size_t> perm(nt);
@@ -44,7 +48,17 @@ QrResult mgs_core(const CMat& h, PickFn pick_next) {
 
     CVec qk = a.col(k);
     const double nrm = std::sqrt(norm2(qk));
-    if (nrm < kRankTol) throw std::runtime_error("qr: rank-deficient matrix");
+    if (nrm < kRankTol) {
+      if constexpr (Tolerant) {
+        // Residual column k lies in the span of the processed ones: leave
+        // q's column k and r's row k zero.  H = Q R still holds (column k
+        // of H reconstructs from the r(0..k-1, k) entries already stored),
+        // and the dead level contributes nothing to R^H R.
+        norms2[k] = std::numeric_limits<double>::quiet_NaN();
+        continue;
+      }
+      throw std::runtime_error("qr: rank-deficient matrix");
+    }
     r(k, k) = cplx{nrm, 0.0};
     for (auto& z : qk) z /= nrm;
     q.set_col(k, qk);
@@ -64,15 +78,19 @@ QrResult mgs_core(const CMat& h, PickFn pick_next) {
   return QrResult{std::move(q), std::move(r), std::move(perm)};
 }
 
+constexpr auto kNaturalOrder = [](std::size_t k, const std::vector<double>&) {
+  return k;
+};
+
 }  // namespace
 
-QrResult qr_mgs(const CMat& h) {
-  return mgs_core(h, [](std::size_t k, const std::vector<double>&) {
-    return k;  // natural order
-  });
+QrResult qr_mgs(CMatView h) { return mgs_core(h, kNaturalOrder); }
+
+QrResult qr_mgs_tolerant(CMatView h) {
+  return mgs_core<true>(h, kNaturalOrder);
 }
 
-QrResult sorted_qr_wubben(const CMat& h) {
+QrResult sorted_qr_wubben(CMatView h) {
   return mgs_core(h, [](std::size_t k, const std::vector<double>& norms2) {
     std::size_t best = k;
     for (std::size_t j = k + 1; j < norms2.size(); ++j) {
@@ -82,12 +100,12 @@ QrResult sorted_qr_wubben(const CMat& h) {
   });
 }
 
-QrResult qr_householder(const CMat& h) {
+QrResult qr_householder(CMatView h) {
   const std::size_t nr = h.rows();
   const std::size_t nt = h.cols();
   if (nr < nt) throw std::runtime_error("qr: requires rows >= cols");
 
-  CMat a = h;
+  CMat a = h.materialize();
   CMat qfull = CMat::identity(nr);
 
   for (std::size_t k = 0; k < nt; ++k) {
@@ -147,11 +165,19 @@ QrResult qr_householder(const CMat& h) {
   return QrResult{std::move(q), std::move(r), std::move(perm)};
 }
 
-QrResult fcsd_sorted_qr(const CMat& h, std::size_t full_levels) {
+QrResult fcsd_sorted_qr(CMatView h, std::size_t full_levels) {
   const std::size_t nt = h.cols();
   if (full_levels > nt) {
     throw std::invalid_argument("fcsd_sorted_qr: full_levels > Nt");
   }
+
+  // One Gram accumulation up front: the Gram of any column subset is a
+  // principal submatrix of H^H H, so the per-iteration pseudo-inverses
+  // below never have to re-touch the (potentially many-antenna-row) H.
+  // Entry-wise this matches the old per-iteration hr^H hr bit for bit
+  // (same row-ascending summation), so the ordering is unchanged.
+  CMat full_gram(nt, nt);
+  accumulate_gram(h, &full_gram);
 
   // Iteratively pick detection order. Iteration i selects the stream
   // detected at tree level Nt-i (i.e. column nt-1-i of the permuted H).
@@ -162,11 +188,12 @@ QrResult fcsd_sorted_qr(const CMat& h, std::size_t full_levels) {
   for (std::size_t i = 0; i < nt; ++i) {
     // Pseudo-inverse of the remaining channel: G = (Hr^H Hr)^-1 Hr^H.
     // Noise amplification of stream j is the squared norm of G's row j.
-    CMat hr(h.rows(), remaining.size());
+    CMat gram(remaining.size(), remaining.size());
     for (std::size_t j = 0; j < remaining.size(); ++j) {
-      hr.set_col(j, h.col(remaining[j]));
+      for (std::size_t k = 0; k < remaining.size(); ++k) {
+        gram(j, k) = full_gram(remaining[j], remaining[k]);
+      }
     }
-    const CMat gram = hr.hermitian() * hr;
     const CMat ginv = inverse(gram);
     // row j of G = (ginv * Hr^H) has squared norm = (ginv * gram * ginv^H)_jj
     // = ginv_jj for Hermitian gram; use the direct identity to avoid forming G.

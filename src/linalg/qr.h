@@ -34,23 +34,37 @@ struct QrResult {
 
 /// Thin QR via modified Gram-Schmidt.  Requires rows >= cols and full
 /// column rank; throws std::runtime_error on rank deficiency.
-QrResult qr_mgs(const CMat& h);
+///
+/// All decompositions here take a CMatView, so they run equally on a whole
+/// channel matrix or on an antenna-row submatrix of it
+/// (CMat::row_range) — the per-cluster preprocessing of the sharded
+/// baseband layer factorizes each cluster's rows in place, no copies of H.
+QrResult qr_mgs(CMatView h);
+
+/// qr_mgs without the full-rank requirement: a (numerically) rank-deficient
+/// pivot yields a zero Q column and a zero R row instead of throwing, so
+/// H = Q R still holds exactly and R^H R == H^H H is preserved.  This is
+/// the per-cluster factorization of src/shard/ — a cluster's antenna-row
+/// submatrix may be singular even when the full channel is not, and the
+/// partial-QR merge stays exact either way.  For full-column-rank input it
+/// is bit-identical to qr_mgs (same code path).
+QrResult qr_mgs_tolerant(CMatView h);
 
 /// Thin QR via Householder reflections (numerically more robust; used to
 /// cross-validate MGS in tests).
-QrResult qr_householder(const CMat& h);
+QrResult qr_householder(CMatView h);
 
 /// Sorted QR decomposition (SQRD) of Wübben et al.: at each Gram-Schmidt
 /// step pick the not-yet-processed column of minimum residual norm.  The
 /// resulting R tends to have ascending diagonal magnitudes, so detection
 /// (which walks levels Nt..1) sees the most reliable streams first.
-QrResult sorted_qr_wubben(const CMat& h);
+QrResult sorted_qr_wubben(CMatView h);
 
 /// FCSD ordering of Barbero & Thompson: the `full_levels` streams with the
 /// *largest* post-detection noise amplification are assigned to the top
 /// (fully-expanded) tree levels; the remaining levels use the V-BLAST
 /// best-first rule (smallest noise amplification detected first).
-QrResult fcsd_sorted_qr(const CMat& h, std::size_t full_levels);
+QrResult fcsd_sorted_qr(CMatView h, std::size_t full_levels);
 
 /// Applies a permutation produced by a sorted QR to recover symbols in the
 /// original antenna order: out[perm[i]] = detected[i].

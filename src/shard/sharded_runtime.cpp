@@ -1,0 +1,304 @@
+#include "shard/sharded_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace flexcore::api {
+
+using Clock = std::chrono::steady_clock;
+
+/// Work order one submit() posts to every shard driver.  Lives on the
+/// submitting thread's stack — submit blocks until `remaining` hits zero,
+/// so the raw pointers cannot dangle.
+struct ShardedRuntime::PrepJob {
+  const FrameJob* job = nullptr;  ///< the caller's original job (borrowed)
+  MergedFrame* merged = nullptr;
+  std::vector<shard::RowRange> plan;
+  std::vector<std::size_t> row_offsets;  ///< merged-row start per cluster
+  std::size_t nt = 0;
+  std::size_t nv = 0;   ///< vectors per channel
+  std::size_t nsc = 0;  ///< subcarriers
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining = 0;  ///< shards still working on this frame
+};
+
+struct ShardedRuntime::Shard {
+  Shard(std::size_t id_in, const parallel::PoolOptions& pool_opts)
+      : id(id_in), pool(pool_opts) {}
+
+  const std::size_t id;
+  parallel::ThreadPool pool;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<PrepJob*> mailbox;  ///< frames waiting for this shard, FIFO
+  bool shutdown = false;
+
+  // Counters behind `mu` (surfaced as ShardStats).
+  std::uint64_t frames = 0;
+  std::uint64_t partials = 0;
+  std::uint64_t rows_processed = 0;
+  double busy_seconds = 0.0;
+  int driver_cpu = -1;  ///< pin target for the driver thread, -1 = none
+
+  std::thread thread;  ///< started by ShardedRuntime after construction
+};
+
+ShardedRuntime::ShardedRuntime(const ShardedRuntimeConfig& cfg)
+    : cfg_(cfg), runtime_(cfg.runtime) {
+  if (cfg_.shards == 0) {
+    throw std::invalid_argument("ShardedRuntime: shards must be >= 1");
+  }
+  const std::size_t hw = parallel::default_thread_count();
+  threads_per_shard_ =
+      cfg_.threads_per_shard > 0
+          ? cfg_.threads_per_shard
+          : std::max<std::size_t>(1, hw / cfg_.shards);
+
+  shards_.reserve(cfg_.shards);
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    parallel::PoolOptions opts;
+    opts.threads = threads_per_shard_;
+    int driver_cpu = -1;
+    if (cfg_.pin_shard_workers) {
+      // Shard s owns the cpu slice [s*T, (s+1)*T) mod hw.  Slot 0 goes to
+      // the driver (= the pool's worker 0, which ThreadPool never pins);
+      // spawned worker w takes pin_cpus[w], w in 1..T-1.
+      opts.pin_cpus.resize(threads_per_shard_);
+      for (std::size_t w = 0; w < threads_per_shard_; ++w) {
+        opts.pin_cpus[w] =
+            static_cast<int>((s * threads_per_shard_ + w) % hw);
+      }
+      driver_cpu = opts.pin_cpus[0];
+    }
+    shards_.emplace_back(std::make_unique<Shard>(s, opts));
+    shards_.back()->driver_cpu = driver_cpu;
+  }
+  // Spawn the drivers only after every Shard exists: a throw above must
+  // not leave joinable threads behind.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->thread = std::thread([this, s] { shard_loop(s); });
+  }
+}
+
+ShardedRuntime::~ShardedRuntime() {
+  // Submits have stopped (caller contract, as with Runtime) and the shard
+  // stage is synchronous inside submit, so every mailbox is empty; frames
+  // already handed to the inner runtime no longer need the shard fabric.
+  for (auto& sh : shards_) {
+    {
+      std::lock_guard lock(sh->mu);
+      sh->shutdown = true;
+    }
+    sh->cv.notify_all();
+  }
+  for (auto& sh : shards_) sh->thread.join();
+  // runtime_ (declared last) is destroyed first among the members: its
+  // drain completes in-flight tickets, whose callbacks recycle the merged
+  // buffers into freelist_ — still alive at that point.
+}
+
+Cell& ShardedRuntime::open_cell(const CellConfig& cfg) {
+  return runtime_.open_cell(cfg);
+}
+
+FrameTicket ShardedRuntime::reconfigure(Cell& cell, const CellReconfig& rc) {
+  return runtime_.reconfigure(cell, rc);
+}
+
+bool ShardedRuntime::run_one() { return runtime_.run_one(); }
+void ShardedRuntime::drain() { runtime_.drain(); }
+
+std::shared_ptr<ShardedRuntime::MergedFrame> ShardedRuntime::acquire_merged(
+    std::size_t nsc, std::size_t k, std::size_t nt, std::size_t n_vectors) {
+  std::shared_ptr<MergedFrame> m;
+  {
+    std::lock_guard lock(freelist_mu_);
+    if (!freelist_.empty()) {
+      m = std::move(freelist_.back());
+      freelist_.pop_back();
+    }
+  }
+  if (!m) m = std::make_shared<MergedFrame>();
+  // Reshape only where needed; every retained entry is fully overwritten
+  // by the shard stage (all K rows of every channel, all K entries of
+  // every z), so no zeroing.
+  m->channels.resize(nsc);
+  for (auto& ch : m->channels) {
+    if (ch.rows() != k || ch.cols() != nt) ch = linalg::CMat(k, nt);
+  }
+  m->zs.resize(n_vectors);
+  for (auto& z : m->zs) z.resize(k);
+  return m;
+}
+
+void ShardedRuntime::recycle_merged(std::shared_ptr<MergedFrame> m) {
+  std::lock_guard lock(freelist_mu_);
+  freelist_.push_back(std::move(m));
+}
+
+void ShardedRuntime::run_prep(std::size_t shard_id, PrepJob& pj) {
+  Shard& sh = *shards_[shard_id];
+  const shard::RowRange range = pj.plan[shard_id];
+  const std::size_t k_c = shard::compressed_rows(range, pj.nt);
+  const std::size_t row_off = pj.row_offsets[shard_id];
+  const std::size_t nt = pj.nt;
+  const std::size_t nv = pj.nv;
+  // One task per subcarrier on THIS shard's pool: the partial QR of this
+  // cluster's antenna rows, its block copied into the merged stack, and
+  // the cluster's slice of every received vector rotated — Q_c never
+  // outlives the task.
+  sh.pool.parallel_for(pj.nsc, [&](std::size_t f) {
+    const linalg::CMat& h = pj.job->channels[f];
+    shard::PartialQr partial =
+        shard::compute_partial(h.row_range(range.begin, range.count));
+    linalg::CMat& merged_h = pj.merged->channels[f];
+    std::memcpy(merged_h.data() + row_off * nt, partial.r.data(),
+                k_c * nt * sizeof(linalg::cplx));
+    for (std::size_t t = 0; t < nv; ++t) {
+      const linalg::CVec& y = pj.job->ys[f * nv + t];
+      linalg::CVec& z = pj.merged->zs[f * nv + t];
+      shard::rotate_partial(
+          partial, std::span<const linalg::cplx>(y.data() + range.begin,
+                                                 range.count),
+          std::span<linalg::cplx>(z.data() + row_off, k_c));
+    }
+  });
+}
+
+void ShardedRuntime::shard_loop(std::size_t shard_id) {
+  Shard& sh = *shards_[shard_id];
+  if (sh.driver_cpu >= 0) parallel::pin_current_thread(sh.driver_cpu);
+  std::unique_lock lock(sh.mu);
+  for (;;) {
+    sh.cv.wait(lock, [&] { return sh.shutdown || !sh.mailbox.empty(); });
+    if (sh.mailbox.empty()) return;  // shutdown with everything drained
+    PrepJob* pj = sh.mailbox.front();
+    sh.mailbox.pop_front();
+    lock.unlock();
+
+    const auto t0 = Clock::now();
+    run_prep(shard_id, *pj);
+    const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    {
+      // Notify UNDER the job lock: the moment the submitter observes
+      // remaining == 0 it may unwind the PrepJob's stack frame, so the cv
+      // must not be touched after this block releases the mutex.
+      std::lock_guard jlock(pj->mu);
+      --pj->remaining;
+      pj->cv.notify_all();
+    }
+
+    lock.lock();
+    sh.busy_seconds += secs;
+  }
+}
+
+FrameTicket ShardedRuntime::submit(Cell& cell, const FrameJob& job,
+                                   std::uint64_t deadline_us) {
+  validate_frame_job(job);
+  const std::size_t nsc = job.channels.size();
+  const std::size_t b = nsc > 0 ? job.channels.front().rows() : 0;
+  const std::size_t effective = std::min(cfg_.shards, b);
+  if (nsc == 0 || effective <= 1) {
+    // Pass-through: no antennas to cluster (empty frame) or a single
+    // cluster spanning the whole array.  The caller's job goes to the
+    // inner runtime verbatim — bit-identical to monolithic api::Runtime.
+    return runtime_.submit(cell, job, deadline_us);
+  }
+
+  const auto t0 = Clock::now();
+  const std::size_t nt = job.channels.front().cols();
+  const std::size_t nv = job.vectors_per_channel;
+
+  PrepJob pj;
+  pj.job = &job;
+  pj.plan = shard::plan_shards(b, effective);
+  pj.row_offsets.resize(pj.plan.size());
+  std::size_t k = 0;
+  for (std::size_t s = 0; s < pj.plan.size(); ++s) {
+    pj.row_offsets[s] = k;
+    k += shard::compressed_rows(pj.plan[s], nt);
+  }
+  pj.nt = nt;
+  pj.nv = nv;
+  pj.nsc = nsc;
+  pj.remaining = pj.plan.size();
+
+  std::shared_ptr<MergedFrame> merged =
+      acquire_merged(nsc, k, nt, job.ys.size());
+  pj.merged = merged.get();
+
+  // Fan the frame out to its clusters' mailboxes, then wait for all of
+  // them — the only barrier in the system, and it is per-frame: two
+  // threads submitting different frames interleave freely on the fabric.
+  for (std::size_t s = 0; s < pj.plan.size(); ++s) {
+    Shard& sh = *shards_[s];
+    {
+      std::lock_guard lock(sh.mu);
+      sh.mailbox.push_back(&pj);
+      // Counters at enqueue time (busy_seconds follows when the work
+      // runs): deterministic for stats() calls after submit returned.
+      ++sh.frames;
+      sh.partials += nsc;
+      sh.rows_processed +=
+          static_cast<std::uint64_t>(pj.plan[s].count) * nsc;
+    }
+    sh.cv.notify_one();
+  }
+  {
+    std::unique_lock lock(pj.mu);
+    pj.cv.wait(lock, [&] { return pj.remaining == 0; });
+  }
+
+  FrameJob inner = job;
+  inner.channels = std::span<const linalg::CMat>(merged->channels);
+  inner.ys = std::span<const linalg::CVec>(merged->zs);
+
+  // The shard stage already consumed part of the frame's deadline budget.
+  if (deadline_us > 0) {
+    const auto spent = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              t0)
+            .count());
+    deadline_us = deadline_us > spent + 1 ? deadline_us - spent : 1;
+  }
+
+  FrameTicket ticket = runtime_.submit(cell, inner, deadline_us);
+  // The inner runtime borrows the merged spans until the ticket is
+  // terminal; the callback both keeps the buffers alive exactly that long
+  // and returns them to the freelist.  `this` outlives the ticket:
+  // runtime_ is a member, and its destructor completes every ticket before
+  // the freelist goes away.
+  ticket.on_complete([this, merged](TicketStatus, const FrameResult*) {
+    recycle_merged(merged);
+  });
+  return ticket;
+}
+
+RuntimeStats ShardedRuntime::stats() const {
+  RuntimeStats out = runtime_.stats();
+  out.shards.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    ShardStats ss;
+    ss.shard_id = sh->id;
+    ss.threads = sh->pool.size();
+    ss.pinned_workers = sh->pool.pinned_workers();
+    std::lock_guard lock(sh->mu);
+    ss.frames = sh->frames;
+    ss.partials = sh->partials;
+    ss.rows_processed = sh->rows_processed;
+    ss.busy_seconds = sh->busy_seconds;
+    out.shards.push_back(ss);
+  }
+  return out;
+}
+
+}  // namespace flexcore::api
