@@ -168,6 +168,45 @@ void BM_PathMetricBlock(benchmark::State& state) {
 }
 BENCHMARK(BM_PathMetricBlock)->Arg(64)->Arg(32);
 
+void BM_PathMetricBlockI16(benchmark::State& state) {
+  KernelFixture fx("flexcore-128:i16");
+  const std::size_t paths = fx.det->active_paths();
+  for (auto _ : state) {
+    std::size_t best_p = 0;
+    double best = 0.0;
+    flexcore::detect::scan_paths(*fx.det, fx.ybar, paths, &best_p, &best);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(paths));
+  // Label carries the compiled plan footprint next to fp64/fp32 below, so
+  // one run shows both halvings (bytes and time) of the quantized tier.
+  state.SetLabel("i16 plan_bytes=" +
+                 std::to_string(fx.det->plan_footprint_bytes()));
+}
+BENCHMARK(BM_PathMetricBlockI16);
+
+void BM_PlanFootprint(benchmark::State& state) {
+  // Not a timing benchmark so much as a tracked-number report: compiled
+  // plan heap bytes per precision tier for the fig17 fixture (12x12,
+  // 64-QAM, 128 paths).  The i16 tier's SoA storage should come in under
+  // half of fp64's.
+  const char* spec = state.range(0) == 16   ? "flexcore-128:i16"
+                     : state.range(0) == 32 ? "flexcore-128:fp32"
+                                            : "flexcore-128";
+  KernelFixture fx(spec);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    bytes = fx.det->plan_footprint_bytes();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["plan_bytes"] = static_cast<double>(bytes);
+  state.SetLabel(state.range(0) == 16   ? "i16"
+                 : state.range(0) == 32 ? "fp32"
+                                        : "fp64");
+}
+BENCHMARK(BM_PlanFootprint)->Arg(64)->Arg(32)->Arg(16);
+
 void BM_RotateInto(benchmark::State& state) {
   KernelFixture fx("flexcore-128");
   ch::Rng rng(5);

@@ -38,10 +38,11 @@ struct CellConfig {
   /// is ignored — the cell owns its constellation).
   DetectorConfig tuning;
   /// Compute tier of the cell's path grids: kFloat32 runs the
-  /// single-precision kernel tier (forwarded to the cell's pipeline; a
-  /// detector-spec suffix ":fp32"/":fp64" still overrides).  The control
-  /// plane's degrade ladder also reaches this tier by emitting ":fp32"
-  /// specs under sustained load.
+  /// single-precision kernel tier and kInt16 the quantized int16 tier
+  /// (forwarded to the cell's pipeline; a detector-spec suffix
+  /// ":fp32"/":fp64"/":i16" still overrides).  The control plane's
+  /// degrade ladder also reaches these tiers by emitting ":fp32" and then
+  /// ":i16" specs under sustained load.
   detect::Precision precision = detect::Precision::kFloat64;
   /// Static-channel coherence policy: when true, every frame after the
   /// cell's first reuses the per-subcarrier preprocessing (QR + path

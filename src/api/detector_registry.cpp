@@ -26,10 +26,11 @@ const Constellation& require_constellation(const DetectorConfig& cfg,
   return *cfg.constellation;
 }
 
-/// Strips a trailing precision-tier suffix (":fp32" / ":fp64") off a spec,
-/// recording the tier in *precision (left untouched when no suffix is
-/// present, so DetectorConfig::precision stays the default).  Only the
-/// path-parallel factories call this — "zf:fp32" stays an unknown spec.
+/// Strips a trailing precision-tier suffix (":fp32" / ":fp64" / ":i16")
+/// off a spec, recording the tier in *precision (left untouched when no
+/// suffix is present, so DetectorConfig::precision stays the default).
+/// Only the path-parallel factories call this — "zf:fp32" and "zf:i16"
+/// stay unknown specs.
 std::string_view strip_precision(std::string_view spec,
                                  detect::Precision* precision) {
   if (spec.ends_with(":fp32")) {
@@ -39,6 +40,10 @@ std::string_view strip_precision(std::string_view spec,
   if (spec.ends_with(":fp64")) {
     *precision = detect::Precision::kFloat64;
     return spec.substr(0, spec.size() - 5);
+  }
+  if (spec.ends_with(":i16")) {
+    *precision = detect::Precision::kInt16;
+    return spec.substr(0, spec.size() - 4);
   }
   return spec;
 }
@@ -118,7 +123,7 @@ void register_builtins(DetectorRegistry& r) {
                      c, cfg.ml_sphere);
                })});
 
-  r.add({"fcsd", "fcsd-L1", "fcsd-L<L>[:fp32] (bare = L1)",
+  r.add({"fcsd", "fcsd-L1", "fcsd-L<L>[:fp32|:i16] (bare = L1)",
          [](std::string_view spec, const DetectorConfig& cfg)
              -> std::unique_ptr<detect::Detector> {
            detect::Precision precision = cfg.precision;
@@ -171,7 +176,7 @@ void register_builtins(DetectorRegistry& r) {
          }});
 
   r.add({"flexcore", "flexcore-64",
-         "flexcore[-<PEs>][:fp32] (base config: cfg.flexcore)",
+         "flexcore[-<PEs>][:fp32|:i16] (base config: cfg.flexcore)",
          [](std::string_view spec, const DetectorConfig& cfg)
              -> std::unique_ptr<detect::Detector> {
            core::FlexCoreConfig fcfg = cfg.flexcore;
@@ -186,7 +191,7 @@ void register_builtins(DetectorRegistry& r) {
          }});
 
   r.add({"a-flexcore", "a-flexcore-64",
-         "a-flexcore[-<PEs>][:fp32] (threshold: "
+         "a-flexcore[-<PEs>][:fp32|:i16] (threshold: "
          "cfg.flexcore.adaptive_threshold or cfg.adaptive_threshold)",
          [](std::string_view spec, const DetectorConfig& cfg)
              -> std::unique_ptr<detect::Detector> {
@@ -203,6 +208,16 @@ void register_builtins(DetectorRegistry& r) {
            return std::make_unique<core::FlexCoreDetector>(
                require_constellation(cfg, spec), fcfg);
          }});
+
+  // Surfaces the int16 quantized tier in list_specs()/canonical_names() as
+  // its own entry, so drivers that iterate canonical specs exercise it.
+  // Construction is handled by the "flexcore" factory above (which strips
+  // the ":i16" suffix), so this factory never matches anything itself.
+  r.add({"flexcore:i16", "flexcore-64:i16",
+         "<path-parallel spec>:i16 (int16 quantized block kernels, "
+         "LUT-compiled slicing)",
+         [](std::string_view, const DetectorConfig&)
+             -> std::unique_ptr<detect::Detector> { return nullptr; }});
 }
 
 }  // namespace

@@ -57,14 +57,21 @@ void FlexCoreDetector::set_channel(const CMat& h, double noise_var) {
   // configured precision tier only; the other tier's plan is dropped so
   // stale state can never be evaluated).
   const bool exact = cfg_.ordering == OrderingMode::kExactSort;
-  if (cfg_.precision == detect::Precision::kFloat32) {
+  if (cfg_.precision == detect::Precision::kInt16) {
+    plan16_.compile_flexcore(qr_.R, preproc_.paths, *constellation_, lut_,
+                             exact, cfg_.invalid_policy);
+    plan64_.clear();
+    plan32_.clear();
+  } else if (cfg_.precision == detect::Precision::kFloat32) {
     plan32_.compile_flexcore(qr_.R, preproc_.paths, *constellation_, lut_,
                              exact, cfg_.invalid_policy);
     plan64_.clear();
+    plan16_.clear();
   } else {
     plan64_.compile_flexcore(qr_.R, preproc_.paths, *constellation_, lut_,
                              exact, cfg_.invalid_policy);
     plan32_.clear();
+    plan16_.clear();
   }
 }
 
@@ -210,16 +217,38 @@ bool FlexCoreDetector::reconstruct_winner(std::span<const cplx> ybar,
                                           detect::Workspace& ws,
                                           DetectionResult* res) const {
   // The double walk re-deriving the winner can disagree with the grid only
-  // in the fp32 tier (a reduced-precision LUT lookup at a triangle edge):
-  // treat that like an all-deactivated vector and fall back to plain SIC.
+  // in the reduced-precision tiers, where a decision that lands near a cell
+  // boundary can fall on the other side of it: the fp32 or int16 kernel may
+  // crown a path the exact walk deactivates, or deactivate every path the
+  // exact walk keeps.  Those vectors are rescued with one exact scalar
+  // rescan (the quantized grid already paid for the other 99%+); only when
+  // the exact scan also finds every path dead does the vector drop to plain
+  // SIC, exactly like the fp64 tier.
   bool fell = true;
   if (!std::isinf(best_metric) &&
       evaluate_path(ybar, best_path, ws, &res->metric, &res->stats)) {
     res->symbols = ws.symbols;
     fell = false;
   } else {
-    res->stats = DetectionStats{};
-    sic_fallback_into(ybar, ws, res);
+    std::size_t rescue_path = 0;
+    double rescue_metric = std::numeric_limits<double>::infinity();
+    if (cfg_.precision != detect::Precision::kFloat64) {
+      for (std::size_t p = 0; p < active_paths_; ++p) {
+        const double m = path_metric(ybar, p);
+        if (m < rescue_metric) {
+          rescue_metric = m;
+          rescue_path = p;
+        }
+      }
+    }
+    if (std::isfinite(rescue_metric) &&
+        evaluate_path(ybar, rescue_path, ws, &res->metric, &res->stats)) {
+      res->symbols = ws.symbols;
+      fell = false;
+    } else {
+      res->stats = DetectionStats{};
+      sic_fallback_into(ybar, ws, res);
+    }
   }
   res->stats.paths_evaluated = active_paths_;
   res->symbols = linalg::unpermute(res->symbols, qr_.perm);

@@ -64,8 +64,10 @@ struct FlexCoreConfig {
   std::size_t batch_expand = 1;
   /// Compute tier of the path grids (detect/path_kernels.h): kFloat64 is
   /// bit-identical to the scalar kernels; kFloat32 evaluates the block
-  /// kernel in single precision (spec suffix ":fp32").  Winner
-  /// reconstruction and the sequential detect() path stay double.
+  /// kernel in single precision (spec suffix ":fp32"); kInt16 runs the
+  /// quantized fixed-point kernel (spec suffix ":i16", accuracy bounded by
+  /// detect::kI16SerTolerance).  Winner reconstruction and the sequential
+  /// detect() path stay double in every tier.
   detect::Precision precision = detect::Precision::kFloat64;
 };
 
@@ -157,12 +159,29 @@ class FlexCoreDetector : public Detector {
   void path_metric_block(std::span<const linalg::cplx> ybar,
                          std::size_t first_path, std::size_t n_paths,
                          double* out_metrics) const {
-    if (cfg_.precision == detect::Precision::kFloat32) {
+    if (cfg_.precision == detect::Precision::kInt16) {
+      plan16_.path_metric_block(ybar, first_path, n_paths, out_metrics);
+    } else if (cfg_.precision == detect::Precision::kFloat32) {
       plan32_.path_metric_block(ybar, first_path, n_paths, out_metrics);
     } else {
       plan64_.path_metric_block(ybar, first_path, n_paths, out_metrics);
     }
   }
+
+  /// Heap footprint of the compiled plan of the configured tier (the
+  /// number the precision ladder halves; reported by bench/micro_kernels).
+  std::size_t plan_footprint_bytes() const {
+    switch (cfg_.precision) {
+      case detect::Precision::kInt16: return plan16_.footprint_bytes();
+      case detect::Precision::kFloat32: return plan32_.footprint_bytes();
+      default: return plan64_.footprint_bytes();
+    }
+  }
+
+  /// The quantized plan of the current channel (compiled only when the
+  /// configured precision is kInt16) — quantization introspection for
+  /// tests and benches.
+  const detect::PathPlanI16& plan_i16() const noexcept { return plan16_; }
 
   /// Builds the final DetectionResult of one vector from a grid verdict
   /// (run_path_grid / run_frame_grid): an instrumented walk of the winning
@@ -208,6 +227,7 @@ class FlexCoreDetector : public Detector {
   // precision tier is compiled per set_channel).
   detect::PathPlan plan64_;
   detect::PathPlanF plan32_;
+  detect::PathPlanI16 plan16_;
   // Per-worker reconstruction scratch plus the reusable grid output, kept
   // across detect_batch calls so repeated per-subcarrier batches stay at
   // their high-water mark (zero steady-state allocations).  Guarded by the

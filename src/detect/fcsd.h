@@ -22,8 +22,8 @@ class FcsdDetector : public Detector {
  public:
   /// `full_levels` = L, the number of fully-expanded levels (1 or 2 in the
   /// paper's evaluation).  `precision` selects the compute tier of the
-  /// path grids (spec suffix ":fp32"); everything outside the grid stays
-  /// double.
+  /// path grids (spec suffix ":fp32" or ":i16"); everything outside the
+  /// grid stays double.
   FcsdDetector(const Constellation& c, std::size_t full_levels,
                Precision precision = Precision::kFloat64)
       : constellation_(&c), full_levels_(full_levels), precision_(precision) {}
@@ -91,7 +91,9 @@ class FcsdDetector : public Detector {
   void path_metric_block(std::span<const linalg::cplx> ybar,
                          std::size_t first_path, std::size_t n_paths,
                          double* out_metrics) const {
-    if (precision_ == Precision::kFloat32) {
+    if (precision_ == Precision::kInt16) {
+      plan16_.path_metric_block(ybar, first_path, n_paths, out_metrics);
+    } else if (precision_ == Precision::kFloat32) {
       plan32_.path_metric_block(ybar, first_path, n_paths, out_metrics);
     } else {
       plan64_.path_metric_block(ybar, first_path, n_paths, out_metrics);
@@ -99,6 +101,19 @@ class FcsdDetector : public Detector {
   }
 
   Precision precision() const noexcept { return precision_; }
+
+  /// Heap footprint of the compiled plan of the configured tier.
+  std::size_t plan_footprint_bytes() const {
+    switch (precision_) {
+      case Precision::kInt16: return plan16_.footprint_bytes();
+      case Precision::kFloat32: return plan32_.footprint_bytes();
+      default: return plan64_.footprint_bytes();
+    }
+  }
+
+  /// The quantized plan of the current channel (compiled only when the
+  /// configured precision is kInt16).
+  const PathPlanI16& plan_i16() const noexcept { return plan16_; }
 
   /// Builds the final DetectionResult of one vector from a grid verdict:
   /// an instrumented walk of the winning path, symbols in ORIGINAL antenna
@@ -120,6 +135,7 @@ class FcsdDetector : public Detector {
   // precision tier is compiled per set_channel).
   PathPlan plan64_;
   PathPlanF plan32_;
+  PathPlanI16 plan16_;
   // Per-worker reconstruction scratch plus the reusable grid output, kept
   // across detect_batch calls so repeated per-subcarrier batches stay at
   // their high-water mark (zero steady-state allocations).  Guarded by the

@@ -54,8 +54,14 @@ concept BlockKernelDetector =
       d.path_metric_block(ybar, i, i, out);
     };
 
-/// Paths per block-kernel call (= linalg::kSimdLanes).
-inline constexpr std::size_t kPathBlockLanes = linalg::kSimdLanes;
+/// Paths per block-kernel call.  Sized for the widest tier: the int16
+/// quantized plans evaluate a FUSED PAIR of 16-lane blocks per kernel call
+/// (2 x kSimdLanesI16 = 32 paths — adjacent blocks share every per-level
+/// scalar broadcast), and the fp plans accept any range (they re-block
+/// internally), so scanning at this width never double-evaluates a block
+/// in any tier and leaves the fp64 min-reduction order — hence its
+/// bit-exact results — unchanged.
+inline constexpr std::size_t kPathBlockLanes = 2 * linalg::kSimdLanesI16;
 
 /// Scans paths [0, num_paths) of one rotated vector, tracking the minimum
 /// inline (strict <, first index wins — the sequential reduction's

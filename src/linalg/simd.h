@@ -28,9 +28,20 @@ namespace flexcore::linalg {
 /// Paths evaluated per path_metric_block call (lanes per block).
 inline constexpr std::size_t kSimdLanes = 8;
 
+/// Lanes per block of the int16 quantized tier: the same register budget
+/// holds twice as many 32-bit accumulator lanes as doubles, so the i16
+/// plans block their paths twice as wide (detect::PathPlanI16::kLanes).
+inline constexpr std::size_t kSimdLanesI16 = 2 * kSimdLanes;
+
 /// Rounds a count up to whole blocks of kSimdLanes.
 inline constexpr std::size_t simd_blocks(std::size_t n) noexcept {
   return (n + kSimdLanes - 1) / kSimdLanes;
+}
+
+/// Rounds a count up to whole blocks of `lanes` (i16 tier: kSimdLanesI16).
+inline constexpr std::size_t simd_blocks_of(std::size_t n,
+                                            std::size_t lanes) noexcept {
+  return (n + lanes - 1) / lanes;
 }
 
 /// A complex sequence stored as two parallel scalar arrays, in precision T

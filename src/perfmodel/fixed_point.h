@@ -14,9 +14,27 @@
 
 namespace flexcore::perfmodel {
 
+/// The ONE 16-bit Q-format shared by the Fixed<> reference model below, the
+/// fixed-point ablation bench, and the quantized kernel tier
+/// (detect::PathPlanI16): Q4.11 — 1 sign bit, 4 integer bits, 11 fractional
+/// bits, matching the paper's FPGA word width (§5.3, Table 3).  The kernel
+/// tier derives its own per-plan scale factors from the channel (it has to:
+/// R entries are not bounded by the constellation), but its storage width
+/// and saturation bounds come from here and its fractional resolution is
+/// capped at kFracBits, so the model, the bench gate, and the shipped
+/// kernel can never quietly use different number formats.
+struct I16Format {
+  static constexpr int kTotalBits = 16;
+  static constexpr int kFracBits = 11;
+  static constexpr std::int32_t kScale = 1 << kFracBits;
+  static constexpr std::int32_t kMax = (1 << (kTotalBits - 1)) - 1;
+  static constexpr std::int32_t kMin = -(1 << (kTotalBits - 1));
+};
+
 /// Signed fixed-point value with `kFracBits` fractional bits stored in
 /// `kTotalBits` bits, saturating on overflow.
-template <int kTotalBits = 16, int kFracBits = 11>
+template <int kTotalBits = I16Format::kTotalBits,
+          int kFracBits = I16Format::kFracBits>
 class Fixed {
   static_assert(kTotalBits > kFracBits + 1, "need at least one integer bit");
 

@@ -260,19 +260,23 @@ TEST(FeedbackLoop, LoadDegradesToFamilySwapAndRestores) {
   const std::size_t solved = loop.current()->paths;
   ASSERT_GT(solved, 4u) << "scenario needs headroom to halve";
 
-  // Sustained pressure: halve, halve, drop to fp32, then swap families.
+  // Sustained pressure: halve, halve, drop to fp32, then the quantized
+  // int16 tier, then swap families — the i16 rung sits between the fp32
+  // drop and the zf-sic swap so the loop sheds precision twice before
+  // abandoning tree search.
   std::vector<std::string> specs;
   for (int i = 0;
-       i < 30 && loop.degrade_step() <= cfg.max_degrade_steps + 1; ++i) {
+       i < 30 && loop.degrade_step() <= cfg.max_degrade_steps + 2; ++i) {
     if (auto d = loop.observe(load_obs(10.0, 4, 4))) {
       specs.push_back(d->detector);
     }
   }
-  ASSERT_EQ(specs.size(), 4u);
+  ASSERT_EQ(specs.size(), 5u);
   EXPECT_EQ(specs[0], "flexcore-" + std::to_string(solved / 2));
   EXPECT_EQ(specs[1], "flexcore-" + std::to_string(solved / 4));
   EXPECT_EQ(specs[2], "flexcore-" + std::to_string(solved / 4) + ":fp32");
-  EXPECT_EQ(specs[3], "zf-sic");
+  EXPECT_EQ(specs[3], "flexcore-" + std::to_string(solved / 4) + ":i16");
+  EXPECT_EQ(specs[4], "zf-sic");
   EXPECT_EQ(loop.decisions().back().reason, std::string("load-degrade"));
 
   // Sustained slack walks the ladder back up to the full solved budget.
@@ -283,7 +287,7 @@ TEST(FeedbackLoop, LoadDegradesToFamilySwapAndRestores) {
       EXPECT_EQ(d->reason, std::string("load-restore"));
     }
   }
-  EXPECT_EQ(restores, 4u);
+  EXPECT_EQ(restores, 5u);
   EXPECT_EQ(loop.degrade_step(), 0u);
   EXPECT_EQ(loop.current()->detector,
             "flexcore-" + std::to_string(solved));
