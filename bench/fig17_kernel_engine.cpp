@@ -345,8 +345,8 @@ int main() {
         }
       }
     }
-    const double ser64 = static_cast<double>(err64) / symbols;
-    const double ser16 = static_cast<double>(err16) / symbols;
+    const double ser64 = static_cast<double>(err64) / static_cast<double>(symbols);
+    const double ser16 = static_cast<double>(err16) / static_cast<double>(symbols);
     ser_gap = ser16 - ser64;
     std::printf("\nSER (12x12, 64-QAM, 22 dB, %zu symbols): fp64 %.5f, "
                 "i16 %.5f, gap %+.5f (tolerance %.3f)\n",

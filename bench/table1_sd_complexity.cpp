@@ -60,10 +60,10 @@ int main() {
       }
     }
 
-    const double flops_per_vector = static_cast<double>(flops) / trials;
+    const double flops_per_vector = static_cast<double>(flops) / static_cast<double>(trials);
     const double gflops =
         flops_per_vector * flexcore::ofdm::vectors_per_second(ofdm) / 1e9;
-    const double ver = static_cast<double>(vec_errors) / trials;
+    const double ver = static_cast<double>(vec_errors) / static_cast<double>(trials);
     // Achieved sum throughput ~ Nt streams of 16-QAM rate-1/2 scaled by the
     // vector success rate (uncoded proxy for the paper's measured column).
     const double tput = static_cast<double>(nt) *
@@ -72,7 +72,7 @@ int main() {
 
     std::printf("%zux%zu        %-22.1f %-18.2f %-18.0f %-12.1f\n", nt, nt,
                 tput, gflops, flops_per_vector,
-                static_cast<double>(nodes) / trials);
+                static_cast<double>(nodes) / static_cast<double>(trials));
   }
 
   std::printf("\nPaper's Table 1 (for shape comparison):\n");

@@ -44,9 +44,10 @@ int main() {
     pre32 /= static_cast<double>(trials);
     pre128 /= static_cast<double>(trials);
 
-    const double qr_mults = 4.0 * nt * nt * nt;  // paper's approximation
-    const double det32 = 2.0 * nt * (nt + 1) * 32;
-    const double det128 = 2.0 * nt * (nt + 1) * 128;
+    const double dnt = static_cast<double>(nt);
+    const double qr_mults = 4.0 * dnt * dnt * dnt;  // paper's approximation
+    const double det32 = 2.0 * dnt * (dnt + 1) * 32;
+    const double det128 = 2.0 * dnt * (dnt + 1) * 128;
 
     std::printf("%zux%zu    ~%-11.0f %-22.1f %-22.1f %.0f / %.0f\n", nt, nt,
                 qr_mults, pre32, pre128, det32, det128);

@@ -1,5 +1,7 @@
 #include "api/runtime.h"
 
+#include "parallel/hot_path_guard.h"
+
 #include <algorithm>
 #include <stdexcept>
 #include <utility>
@@ -70,6 +72,7 @@ void complete_ticket(TicketState& st, TicketStatus status,
   std::vector<std::function<void(TicketStatus, const FrameResult*)>> cbs;
   {
     std::lock_guard lock(st.mu);
+    parallel::guard_detail::note_lock();
     st.final_status = status;
     st.result = std::move(result);
     st.error = std::move(error);
@@ -89,6 +92,7 @@ void complete_ticket(TicketState& st, TicketStatus status,
   }
   {
     std::lock_guard lock(st.mu);
+    parallel::guard_detail::note_lock();
     st.status = status;
   }
   st.cv.notify_all();
@@ -103,17 +107,20 @@ FrameTicket::~FrameTicket() = default;
 
 TicketStatus FrameTicket::status() const {
   std::lock_guard lock(st_->mu);
+  parallel::guard_detail::note_lock();
   return st_->status;
 }
 
 TicketStatus FrameTicket::wait() const {
   std::unique_lock lock(st_->mu);
+  parallel::guard_detail::note_lock();
   st_->cv.wait(lock, [&] { return st_->status != TicketStatus::kPending; });
   return st_->status;
 }
 
 const FrameResult* FrameTicket::try_get() const {
   std::lock_guard lock(st_->mu);
+  parallel::guard_detail::note_lock();
   // A taken result is gone: expose "no result", never the moved-from shell.
   return st_->status == TicketStatus::kDone && !st_->taken ? &st_->result
                                                            : nullptr;
@@ -121,6 +128,7 @@ const FrameResult* FrameTicket::try_get() const {
 
 FrameResult FrameTicket::take() {
   std::unique_lock lock(st_->mu);
+  parallel::guard_detail::note_lock();
   if (st_->status != TicketStatus::kDone) {
     throw std::logic_error(std::string("FrameTicket::take: status is ") +
                            to_string(st_->status));
@@ -140,6 +148,7 @@ FrameResult FrameTicket::take() {
 
 std::string FrameTicket::error() const {
   std::lock_guard lock(st_->mu);
+  parallel::guard_detail::note_lock();
   return st_->error;
 }
 
@@ -149,6 +158,7 @@ void FrameTicket::on_complete(
   const FrameResult* r = nullptr;
   {
     std::lock_guard lock(st_->mu);
+    parallel::guard_detail::note_lock();
     // final_status (not status): once completion began the callback list
     // was drained, so queueing here would silently lose the callback.
     if (st_->final_status == TicketStatus::kPending) {
@@ -179,6 +189,7 @@ void FrameTicket::on_complete(
 void FrameTicket::release_late_reader() {
   {
     std::lock_guard lock(st_->mu);
+    parallel::guard_detail::note_lock();
     --st_->late_readers;
   }
   st_->cv.notify_all();
@@ -204,6 +215,7 @@ Runtime::Runtime(const RuntimeConfig& cfg)
 Runtime::~Runtime() {
   {
     std::lock_guard lock(mu_);
+    parallel::guard_detail::note_lock();
     shutdown_ = true;
   }
   runnable_cv_.notify_all();
@@ -217,12 +229,14 @@ Runtime::~Runtime() {
 
 Cell& Runtime::open_cell(const CellConfig& cfg) {
   std::lock_guard lock(mu_);
+  parallel::guard_detail::note_lock();
   cells_.emplace_back(new Cell(cells_.size(), cfg, &pool_));
   return *cells_.back();
 }
 
 std::size_t Runtime::cell_count() const {
   std::lock_guard lock(mu_);
+  parallel::guard_detail::note_lock();
   return cells_.size();
 }
 
@@ -233,6 +247,7 @@ FrameTicket Runtime::submit(Cell& cell, const FrameJob& job,
   st->cell_id = cell.id_;
 
   std::unique_lock lock(mu_);
+  parallel::guard_detail::note_lock();
   while (true) {
     if (shutdown_) {
       throw std::logic_error("Runtime::submit: runtime is shutting down");
@@ -304,6 +319,7 @@ FrameTicket Runtime::reconfigure(Cell& cell, const CellReconfig& rc) {
   DetectorConfig tuning;
   {
     std::lock_guard lock(mu_);
+    parallel::guard_detail::note_lock();
     if (shutdown_) {
       throw std::logic_error("Runtime::reconfigure: runtime is shutting down");
     }
@@ -321,6 +337,7 @@ FrameTicket Runtime::reconfigure(Cell& cell, const CellReconfig& rc) {
   st->cell_id = cell.id_;
 
   std::unique_lock lock(mu_);
+  parallel::guard_detail::note_lock();
   if (shutdown_) {
     throw std::logic_error("Runtime::reconfigure: runtime is shutting down");
   }
@@ -385,6 +402,7 @@ bool Runtime::expire_stale(std::unique_lock<std::mutex>& lock) {
     complete_ticket(*st, TicketStatus::kExpired, FrameResult{}, "");
   }
   lock.lock();
+  parallel::guard_detail::note_lock();  // re-acquired after unlocked section
   return true;
 }
 
@@ -440,6 +458,7 @@ void Runtime::process_next(std::unique_lock<std::mutex>& lock) {
   // completed and in flight (an observer woken by the ticket may briefly
   // still see it as in flight — the consistent direction).
   lock.lock();
+  parallel::guard_detail::note_lock();  // re-acquired after unlocked section
   switch (status) {
     case TicketStatus::kDone:
       ++cell->frames_out_;
@@ -481,6 +500,7 @@ void Runtime::apply_reconfig(std::unique_lock<std::mutex>& lock, Cell* cell,
   complete_ticket(*pf.ticket, status, FrameResult{}, std::move(error));
 
   lock.lock();
+  parallel::guard_detail::note_lock();  // re-acquired after unlocked section
   if (status == TicketStatus::kDone) {
     cell->cfg_.detector = rc.detector;
     if (rc.tuning) cell->cfg_.tuning = *rc.tuning;
@@ -507,6 +527,7 @@ void Runtime::release_cell_locked(Cell* cell) {
 
 bool Runtime::run_one() {
   std::unique_lock lock(mu_);
+  parallel::guard_detail::note_lock();
   if (runnable_.empty()) return false;
   process_next(lock);
   return true;
@@ -514,6 +535,7 @@ bool Runtime::run_one() {
 
 void Runtime::dispatcher_loop() {
   std::unique_lock lock(mu_);
+  parallel::guard_detail::note_lock();
   for (;;) {
     runnable_cv_.wait(lock,
                       [&] { return shutdown_ || !runnable_.empty(); });
@@ -537,16 +559,19 @@ void Runtime::drain() {
       while (run_one()) {
       }
       std::unique_lock lock(mu_);
+      parallel::guard_detail::note_lock();
       if (idle()) return;
       drain_cv_.wait(lock);
     }
   }
   std::unique_lock lock(mu_);
+  parallel::guard_detail::note_lock();
   drain_cv_.wait(lock, idle);
 }
 
 RuntimeStats Runtime::stats() const {
   std::lock_guard lock(mu_);
+  parallel::guard_detail::note_lock();
   RuntimeStats out;
   out.cells.reserve(cells_.size());
   for (const auto& cell : cells_) {

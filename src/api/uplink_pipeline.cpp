@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "detect/fcsd.h"
+#include "parallel/hot_path.h"
 
 namespace flexcore::api {
 
@@ -180,6 +181,7 @@ void UplinkPipeline::ensure_frame_detectors(std::size_t count) {
 /// Fused grid for path-parallel detector families: returns false when the
 /// clones are not of type D (the caller tries the next family).
 template <typename D>
+FLEXCORE_HOT_PATH
 bool UplinkPipeline::try_typed_frame(const FrameJob& job, FrameResult* out) {
   // Clones are homogeneous (same registry spec), so one cast decides the
   // whole family — non-matching pipelines pay a single failed cast here.
@@ -188,16 +190,23 @@ bool UplinkPipeline::try_typed_frame(const FrameJob& job, FrameResult* out) {
   }
   const std::size_t nsc = job.channels.size();
   const std::size_t nv = job.vectors_per_channel;
-  std::vector<const D*> typed(nsc);
-  std::vector<std::size_t> paths(nsc);
+  // flexcore-lint: allow-next-line(HP001) warm-capacity reuse, never shrunk
+  frame_typed_.resize(nsc);
+  // flexcore-lint: allow-next-line(HP001) warm-capacity reuse, never shrunk
+  frame_paths_.resize(nsc);
   for (std::size_t f = 0; f < nsc; ++f) {
-    typed[f] = static_cast<const D*>(frame_dets_[f].get());
-    paths[f] = typed[f]->parallel_tasks();
+    const D* d = static_cast<const D*>(frame_dets_[f].get());
+    frame_typed_[f] = d;
+    frame_paths_[f] = d->parallel_tasks();
   }
+  // Read back exactly the pointer type stored above; the void* detour only
+  // type-erases the member so ONE scratch vector serves every family.
+  const D* const* typed = reinterpret_cast<const D* const*>(frame_typed_.data());
   const std::size_t nt = job.channels.front().cols();
 
-  detect::run_frame_grid<D>(std::span<const D* const>(typed), paths, job.ys,
-                            nv, nt, *pool_, &frame_grid_);
+  detect::run_frame_grid<D>(std::span<const D* const>(typed, nsc),
+                            frame_paths_, job.ys, nv, nt, *pool_,
+                            &frame_grid_);
   out->tasks = frame_grid_.tasks;
   out->detect_seconds = frame_grid_.elapsed_seconds;
 
@@ -205,6 +214,7 @@ bool UplinkPipeline::try_typed_frame(const FrameJob& job, FrameResult* out) {
   // where every path was deactivated — same policy as detect_batch.
   const std::size_t units = nsc * nv;
   workspaces_.ensure(pool_->size());
+  // flexcore-lint: allow-next-line(HP001) warm-capacity reuse, never shrunk
   frame_fell_.assign(units, 0);
   pool_->parallel_for_worker(units, [&](std::size_t w, std::size_t u) {
     frame_fell_[u] = typed[u / nv]->reconstruct_winner(
@@ -231,13 +241,30 @@ void UplinkPipeline::generic_frame(const FrameJob& job, FrameResult* out) {
 }
 
 FrameResult UplinkPipeline::detect_frame(const FrameJob& job) {
+  FrameResult out;
+  detect_frame(job, &out);
+  return out;
+}
+
+FLEXCORE_HOT_PATH
+void UplinkPipeline::detect_frame(const FrameJob& job, FrameResult* out_ptr) {
   const std::size_t nsc = job.channels.size();
   const std::size_t nv = job.vectors_per_channel;
   validate_frame_job(job);
 
-  FrameResult out;
+  FrameResult& out = *out_ptr;
+  // Reset scalars but keep the result buffers: resized, never shrunk, so a
+  // reused FrameResult of equal shape costs no allocation.
+  out.stats = detect::DetectionStats{};
+  out.sic_fallbacks = 0;
+  out.tasks = 0;
+  out.channels_installed = 0;
+  out.sum_active_paths = 0.0;
+  out.preprocess_seconds = 0.0;
+  out.detect_seconds = 0.0;
+  // flexcore-lint: allow-next-line(HP001) warm-capacity reuse, never shrunk
   out.results.resize(job.ys.size());
-  if (nsc == 0) return out;
+  if (nsc == 0) return;
 
   // Per-subcarrier preprocessing (QR + path selection), one task per
   // subcarrier: independent detector clones, so no synchronization.
@@ -274,7 +301,6 @@ FrameResult UplinkPipeline::detect_frame(const FrameJob& job) {
 
   vectors_detected_ += job.ys.size();
   total_stats_ += out.stats;
-  return out;
 }
 
 std::vector<core::SoftOutput> UplinkPipeline::detect_soft(

@@ -170,6 +170,14 @@ class UplinkPipeline {
   /// detect_batch after the parallel preprocessing.
   FrameResult detect_frame(const FrameJob& job);
 
+  /// Buffer-reusing overload: writes into `*out`, whose buffers are resized
+  /// but never shrunk — reusing the same FrameResult across frames of equal
+  /// shape (with reuse_preprocessing set) makes the whole call perform ZERO
+  /// heap allocations in steady state, verified by
+  /// tests/hot_path_guard_test.cpp.  Previous contents of `*out` are
+  /// overwritten.  The by-value overload delegates here.
+  void detect_frame(const FrameJob& job, FrameResult* out);
+
   /// Swaps the session's detector for `detector_spec` (same constellation
   /// and pool), atomically from the caller's perspective: the new detector
   /// is fully constructed before any state changes, so a throwing spec
@@ -247,6 +255,12 @@ class UplinkPipeline {
   detect::FrameGridOutput frame_grid_;
   detect::WorkspaceBank workspaces_;
   std::vector<std::uint8_t> frame_fell_;
+  // Per-call scratch of try_typed_frame, hoisted so steady-state frames
+  // reuse its capacity: the typed clone pointers (stored type-erased; the
+  // template reads them back as the D* it stored) and per-subcarrier path
+  // counts.
+  std::vector<const void*> frame_typed_;
+  std::vector<std::size_t> frame_paths_;
 };
 
 }  // namespace flexcore::api

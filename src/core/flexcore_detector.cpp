@@ -1,5 +1,7 @@
 #include "core/flexcore_detector.h"
 
+#include "parallel/hot_path.h"
+
 #include <algorithm>
 #include <array>
 #include <cassert>
@@ -79,6 +81,7 @@ std::size_t FlexCoreDetector::active_paths() const { return active_paths_; }
 
 double FlexCoreDetector::active_pc_sum() const { return preproc_.pc_sum; }
 
+FLEXCORE_HOT_PATH
 void FlexCoreDetector::rotate_into(const CVec& y,
                                    std::span<cplx> out) const {
   linalg::hermitian_mul_into(qr_.Q, y, out);
@@ -93,6 +96,7 @@ FlexCoreDetector::PathEval FlexCoreDetector::evaluate_path(
   return ev;
 }
 
+FLEXCORE_HOT_PATH
 bool FlexCoreDetector::evaluate_path(std::span<const cplx> ybar,
                                      std::size_t path_index,
                                      detect::Workspace& ws, double* metric,
@@ -101,7 +105,9 @@ bool FlexCoreDetector::evaluate_path(std::span<const cplx> ybar,
   const std::size_t nt = r.cols();
   const PositionVector& p = preproc_.paths[path_index].p;
 
+  // flexcore-lint: allow-next-line(HP001) warm per-worker workspace
   ws.symbols.assign(nt, 0);
+  // flexcore-lint: allow-next-line(HP001) warm per-worker workspace
   ws.s.assign(nt, cplx{0.0, 0.0});
   *metric = 0.0;
   *stats = DetectionStats{};
@@ -139,6 +145,7 @@ bool FlexCoreDetector::evaluate_path(std::span<const cplx> ybar,
   return true;
 }
 
+FLEXCORE_HOT_PATH
 double FlexCoreDetector::path_metric(std::span<const cplx> ybar,
                                      std::size_t path_index) const {
   const CMat& r = qr_.R;
@@ -251,7 +258,10 @@ bool FlexCoreDetector::reconstruct_winner(std::span<const cplx> ybar,
     }
   }
   res->stats.paths_evaluated = active_paths_;
-  res->symbols = linalg::unpermute(res->symbols, qr_.perm);
+  // Every branch above leaves the winning tree-order decisions in
+  // ws.symbols; unpermute straight from there into the caller's buffer so
+  // the steady-state reconstruction allocates nothing.
+  linalg::unpermute_into(ws.symbols, qr_.perm, &res->symbols);
   return fell;
 }
 

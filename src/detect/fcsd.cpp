@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "detect/path_grid.h"
+#include "parallel/hot_path.h"
 #include "parallel/thread_pool.h"
 
 namespace flexcore::detect {
@@ -48,6 +49,7 @@ std::size_t FcsdDetector::num_paths() const {
   return n;
 }
 
+FLEXCORE_HOT_PATH
 void FcsdDetector::rotate_into(const CVec& y, std::span<cplx> out) const {
   linalg::hermitian_mul_into(qr_.Q, y, out);
 }
@@ -61,6 +63,7 @@ FcsdDetector::PathEval FcsdDetector::evaluate_path(const CVec& ybar,
   return ev;
 }
 
+FLEXCORE_HOT_PATH
 void FcsdDetector::evaluate_path(std::span<const cplx> ybar,
                                  std::size_t path_index,
                                  detect::Workspace& ws, double* metric,
@@ -69,7 +72,9 @@ void FcsdDetector::evaluate_path(std::span<const cplx> ybar,
   const std::size_t nt = r.cols();
   const std::size_t q = static_cast<std::size_t>(constellation_->order());
 
+  // flexcore-lint: allow-next-line(HP001) warm per-worker workspace
   ws.symbols.assign(nt, 0);
+  // flexcore-lint: allow-next-line(HP001) warm per-worker workspace
   ws.s.assign(nt, cplx{0.0, 0.0});
   *metric = 0.0;
   *stats = DetectionStats{};
@@ -114,11 +119,12 @@ bool FcsdDetector::reconstruct_winner(std::span<const cplx> ybar,
                                       detect::Workspace& ws,
                                       DetectionResult* res) const {
   evaluate_path(ybar, best_path, ws, &res->metric, &res->stats);
-  res->symbols = linalg::unpermute(ws.symbols, qr_.perm);
+  linalg::unpermute_into(ws.symbols, qr_.perm, &res->symbols);
   res->stats.paths_evaluated = num_paths();
   return false;
 }
 
+FLEXCORE_HOT_PATH
 double FcsdDetector::path_metric(std::span<const cplx> ybar,
                                  std::size_t path_index) const {
   const CMat& r = qr_.R;

@@ -26,6 +26,7 @@
 
 #include "linalg/simd.h"
 #include "linalg/types.h"
+#include "parallel/hot_path.h"
 #include "parallel/thread_pool.h"
 
 namespace flexcore::detect {
@@ -68,6 +69,7 @@ inline constexpr std::size_t kPathBlockLanes = 2 * linalg::kSimdLanesI16;
 /// tie-break, so results are bit-identical at any thread count and block
 /// width).  Uses the block kernel when the detector has one.
 template <typename D>
+FLEXCORE_HOT_PATH
 inline void scan_paths(const D& det, std::span<const linalg::cplx> ybar,
                        std::size_t num_paths, std::size_t* best_path,
                        double* best_metric) {
@@ -109,6 +111,7 @@ inline void scan_paths(const D& det, std::span<const linalg::cplx> ybar,
 /// need full DetectionResults should go through Detector::detect_batch,
 /// which applies it.
 struct PathGridOutput {
+  // flexcore-lint: allow-next-line(HP005) documented AoS handoff to detectors
   std::vector<linalg::cplx> ybars;     ///< flat rotated inputs, nt per vector
   std::vector<std::size_t> best_path;  ///< winning path index per vector
   std::vector<double> best_metric;     ///< its Euclidean distance
@@ -127,14 +130,18 @@ struct PathGridOutput {
 /// scans its paths with the min-reduction folded inline (the paper's
 /// pipelined minimum tree) — steady-state tasks allocate nothing.
 template <PathParallelDetector D>
+FLEXCORE_HOT_PATH
 void run_path_grid(const D& det, std::size_t num_paths,
                    std::span<const linalg::CVec> ys, std::size_t nt,
                    parallel::ThreadPool& pool, PathGridOutput* out) {
   const std::size_t nv = ys.size();
   out->nt = nt;
   out->tasks = nv * num_paths;
+  // flexcore-lint: allow-next-line(HP001) warm-capacity reuse, never shrunk
   out->ybars.resize(nv * nt);
+  // flexcore-lint: allow-next-line(HP001) warm-capacity reuse, never shrunk
   out->best_path.assign(nv, 0);
+  // flexcore-lint: allow-next-line(HP001) warm-capacity reuse, never shrunk
   out->best_metric.assign(nv, std::numeric_limits<double>::infinity());
   if (nv == 0 || num_paths == 0) {
     out->elapsed_seconds = 0.0;
@@ -160,6 +167,7 @@ void run_path_grid(const D& det, std::size_t num_paths,
 /// same FrameGridOutput across frames of equal (or smaller) shape performs
 /// no allocation at all.
 struct FrameGridOutput {
+  // flexcore-lint: allow-next-line(HP005) documented AoS handoff to detectors
   std::vector<linalg::cplx> ybars;     ///< flat rotated inputs, nt per unit
   std::vector<std::size_t> best_path;  ///< winning path index per unit
   std::vector<double> best_metric;     ///< its distance (+inf: all paths dead)
@@ -180,6 +188,7 @@ struct FrameGridOutput {
 /// scalar metric otherwise) with the minimum tracked inline.  Steady-state
 /// tasks perform zero heap allocations.
 template <PathParallelDetector D>
+FLEXCORE_HOT_PATH
 void run_frame_grid(std::span<const D* const> dets,
                     std::span<const std::size_t> num_paths,
                     std::span<const linalg::CVec> ys,
@@ -192,8 +201,11 @@ void run_frame_grid(std::span<const D* const> dets,
   for (std::size_t f = 0; f < nsc; ++f) {
     out->tasks += vectors_per_channel * num_paths[f];
   }
+  // flexcore-lint: allow-next-line(HP001) warm-capacity reuse, never shrunk
   out->ybars.resize(units * nt);
+  // flexcore-lint: allow-next-line(HP001) warm-capacity reuse, never shrunk
   out->best_path.assign(units, 0);
+  // flexcore-lint: allow-next-line(HP001) warm-capacity reuse, never shrunk
   out->best_metric.assign(units, std::numeric_limits<double>::infinity());
   if (units == 0) {
     out->elapsed_seconds = 0.0;

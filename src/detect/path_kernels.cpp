@@ -1,5 +1,7 @@
 #include "detect/path_kernels.h"
 
+#include "parallel/hot_path.h"
+
 #include <algorithm>
 #include <bit>
 #include <cassert>
@@ -52,6 +54,7 @@ void PathPlanT<T>::compile_channel(const linalg::CMat& r,
   if (with_diag_inverse) {
     rdi_.resize(nt);
     for (std::size_t i = 0; i < nt; ++i) {
+      // flexcore-lint: allow-next-line(HP005) plan-compile time, not per-path
       rdi_.set(i, linalg::cplx{1.0, 0.0} / r(i, i));
     }
   } else {
@@ -233,6 +236,7 @@ inline V splat(T s) noexcept {
 }  // namespace
 
 template <typename T>
+FLEXCORE_HOT_PATH
 void PathPlanT<T>::eval_block(const linalg::cplx* ybar, std::size_t block,
                               double out[kLanes]) const {
   const std::size_t nt = nt_;
@@ -280,8 +284,10 @@ void PathPlanT<T>::eval_block(const linalg::cplx* ybar, std::size_t block,
         // Greedy extension: nearest point to b / R(i,i) — the complex
         // division stays std::complex (the scalar kernel's exact library
         // semantics), the slice is the same round-and-clamp inlined.
+        // flexcore-lint: allow-next-line(HP005) scalar-exact library division
         const std::complex<T> rd{rrow_re[i], rrow_im[i]};
         for (std::size_t l = 0; l < kLanes; ++l) {
+          // flexcore-lint: allow-next-line(HP005) scalar-exact library division
           const std::complex<T> bq = std::complex<T>{br[l], bi[l]} / rd;
           const double qr = static_cast<double>(bq.real());
           const double qi = static_cast<double>(bq.imag());
@@ -407,6 +413,7 @@ void PathPlanT<T>::eval_block(const linalg::cplx* ybar, std::size_t block,
 }
 
 template <typename T>
+FLEXCORE_HOT_PATH
 void PathPlanT<T>::path_metric_block(std::span<const linalg::cplx> ybar,
                                      std::size_t first_path,
                                      std::size_t n_paths, double* out) const {
@@ -805,6 +812,7 @@ void PathPlanI16::compile_channel(const linalg::CMat& r,
   constexpr double kPamCap = 1073741824.0;  // 2^30: unreachable by eff_raw
 
   for (std::size_t i = 0; i < nt; ++i) {
+    // flexcore-lint: allow-next-line(HP005) LUT compile time, not per-path
     const linalg::cplx inv = linalg::cplx{1.0, 0.0} / r(i, i);
     const double m = std::max(std::fabs(inv.real()), std::fabs(inv.imag()));
     const bool invertible = std::isfinite(m) && m > 0.0;
@@ -1004,6 +1012,7 @@ std::size_t PathPlanI16::footprint_bytes() const noexcept {
          lut_dq_.size() + powq_.size() * sizeof(std::size_t);
 }
 
+FLEXCORE_HOT_PATH
 void PathPlanI16::path_metric_block(std::span<const linalg::cplx> ybar,
                                     std::size_t first_path,
                                     std::size_t n_paths, double* out) const {

@@ -76,6 +76,19 @@ std::vector<T> unpermute(const std::vector<T>& detected,
   return out;
 }
 
+/// Buffer-reusing variant for the per-vector hot path: writes into `out`
+/// (resized, warm capacity reused — zero allocations in steady state).
+/// `detected` and `out` must be distinct objects.
+template <typename T>
+void unpermute_into(const std::vector<T>& detected,
+                    const std::vector<std::size_t>& perm,
+                    std::vector<T>* out) {
+  out->resize(detected.size());
+  for (std::size_t i = 0; i < detected.size(); ++i) {
+    (*out)[perm[i]] = detected[i];
+  }
+}
+
 /// Solves R x = y for upper-triangular R by back substitution.
 CVec solve_upper(const CMat& r, const CVec& y);
 

@@ -1,0 +1,37 @@
+// Hot-path annotation macros — the static half of the hot-path contract.
+//
+// FlexCore's line-rate claim rests on datapath invariants (no allocation,
+// no locks, no std::function, integer-only i16 kernels, SoA layout) that
+// used to live in comments and one operator-new-counting test.  These
+// macros turn them into machine-checked rules: `tools/lint/flexcore_lint`
+// scans the tree, treats every annotated region as a hot region, and
+// enforces the rule catalog (HP001..HP005 — see tools/lint/README.md and
+// the README "Correctness tooling" section).
+//
+// Usage:
+//   * FLEXCORE_HOT_PATH — placed on its own line immediately before a
+//     function definition; the function's body becomes a hot region.  The
+//     macro expands to nothing: annotations cost nothing at runtime and
+//     never change codegen.
+//   * FLEXCORE_HOT_PATH_FILE; — placed once at namespace scope near the
+//     top of a file; the WHOLE file becomes a hot region.  Reserve it for
+//     files that are kernel code end-to-end.
+//   * Violations that are deliberate (e.g. a resize() that reuses warm
+//     capacity by design) are suppressed line-by-line with a justification:
+//       buf.resize(n);  // flexcore-lint: allow(HP001) warm capacity reuse
+//     A bare suppression without a rule id is invalid; the lint pass
+//     reports it.
+//
+// The dynamic half of the contract is parallel/hot_path_guard.h: a
+// HotPathScope armed around a steady-state region asserts at runtime that
+// the annotated code really did allocate nothing and took no locks.
+#pragma once
+
+/// Marks the NEXT function definition as a hot region for flexcore_lint.
+/// Expands to nothing — purely a static-analysis annotation.
+#define FLEXCORE_HOT_PATH
+
+/// Marks the whole file as a hot region for flexcore_lint.  Invoke once at
+/// namespace scope: `FLEXCORE_HOT_PATH_FILE;`.
+#define FLEXCORE_HOT_PATH_FILE \
+  static_assert(true, "flexcore hot-path file marker")

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "parallel/hot_path.h"
+#include "parallel/hot_path_guard.h"
+
 #ifdef __linux__
 #include <pthread.h>
 #include <sched.h>
@@ -66,12 +69,14 @@ ThreadPool::ThreadPool(const PoolOptions& options)
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard lock(mu_);
+    guard_detail::note_lock();
     shutdown_ = true;
   }
   work_cv_.notify_all();
   for (auto& t : workers_) t.join();
 }
 
+FLEXCORE_HOT_PATH
 void ThreadPool::run_chunks(JobState& job, std::size_t worker) {
   for (;;) {
     const std::size_t begin =
@@ -87,6 +92,7 @@ void ThreadPool::run_chunks(JobState& job, std::size_t worker) {
 
 void ThreadPool::worker_loop(std::size_t worker) {
   std::unique_lock lock(mu_);
+  guard_detail::note_lock();
   for (;;) {
     // Scan the active list: prune fully-claimed jobs, grab the first one
     // with unclaimed chunks.  Several jobs can be live at once; workers
@@ -103,6 +109,7 @@ void ThreadPool::worker_loop(std::size_t worker) {
     if (job == nullptr) {
       if (shutdown_) return;
       work_cv_.wait(lock);
+      guard_detail::note_lock();  // cv wait re-acquired mu_
       continue;
     }
 
@@ -110,6 +117,7 @@ void ThreadPool::worker_loop(std::size_t worker) {
     lock.unlock();
     run_chunks(*job, worker);
     lock.lock();
+    guard_detail::note_lock();
     --job->workers;
     if (job->workers == 0 &&
         job->completed.load(std::memory_order_acquire) >= job->n) {
@@ -118,6 +126,7 @@ void ThreadPool::worker_loop(std::size_t worker) {
   }
 }
 
+FLEXCORE_HOT_PATH
 void ThreadPool::run_job(RawJob job, void* ctx, std::size_t n,
                          std::size_t chunk) {
   if (n == 0) return;
@@ -126,6 +135,9 @@ void ThreadPool::run_job(RawJob job, void* ctx, std::size_t n,
     chunk = std::max<std::size_t>(1, n / (num_threads_ * 8));
   }
   if (num_threads_ == 1) {
+    // Inline short-circuit: a single-threaded pool runs the job on the
+    // calling thread with ZERO lock traffic — the invariant the
+    // hot_path_guard tests pin down.
     job(ctx, 0, 0, n);
     return;
   }
@@ -133,12 +145,15 @@ void ThreadPool::run_job(RawJob job, void* ctx, std::size_t n,
   JobState state(job, ctx, n, chunk);
   {
     std::lock_guard lock(mu_);
+    guard_detail::note_lock();
+    // flexcore-lint: allow-next-line(HP001) capacity reserved in constructor
     active_.push_back(&state);
   }
   work_cv_.notify_all();
   run_chunks(state, /*worker=*/0);  // caller participates in its own job
 
   std::unique_lock lock(mu_);
+  guard_detail::note_lock();
   // `workers == 0` (not just completion) before unwinding: a worker that
   // claimed nothing may still be inside run_chunks touching the counters.
   done_cv_.wait(lock, [&] {

@@ -1,5 +1,7 @@
 #include "shard/sharded_runtime.h"
 
+#include "parallel/hot_path_guard.h"
+
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
@@ -95,6 +97,7 @@ ShardedRuntime::~ShardedRuntime() {
   for (auto& sh : shards_) {
     {
       std::lock_guard lock(sh->mu);
+      parallel::guard_detail::note_lock();
       sh->shutdown = true;
     }
     sh->cv.notify_all();
@@ -121,6 +124,7 @@ std::shared_ptr<ShardedRuntime::MergedFrame> ShardedRuntime::acquire_merged(
   std::shared_ptr<MergedFrame> m;
   {
     std::lock_guard lock(freelist_mu_);
+    parallel::guard_detail::note_lock();
     if (!freelist_.empty()) {
       m = std::move(freelist_.back());
       freelist_.pop_back();
@@ -141,6 +145,7 @@ std::shared_ptr<ShardedRuntime::MergedFrame> ShardedRuntime::acquire_merged(
 
 void ShardedRuntime::recycle_merged(std::shared_ptr<MergedFrame> m) {
   std::lock_guard lock(freelist_mu_);
+  parallel::guard_detail::note_lock();
   freelist_.push_back(std::move(m));
 }
 
@@ -177,6 +182,7 @@ void ShardedRuntime::shard_loop(std::size_t shard_id) {
   Shard& sh = *shards_[shard_id];
   if (sh.driver_cpu >= 0) parallel::pin_current_thread(sh.driver_cpu);
   std::unique_lock lock(sh.mu);
+  parallel::guard_detail::note_lock();
   for (;;) {
     sh.cv.wait(lock, [&] { return sh.shutdown || !sh.mailbox.empty(); });
     if (sh.mailbox.empty()) return;  // shutdown with everything drained
@@ -192,11 +198,13 @@ void ShardedRuntime::shard_loop(std::size_t shard_id) {
       // remaining == 0 it may unwind the PrepJob's stack frame, so the cv
       // must not be touched after this block releases the mutex.
       std::lock_guard jlock(pj->mu);
+      parallel::guard_detail::note_lock();
       --pj->remaining;
       pj->cv.notify_all();
     }
 
     lock.lock();
+    parallel::guard_detail::note_lock();  // re-acquired after unlocked section
     sh.busy_seconds += secs;
   }
 }
@@ -243,6 +251,7 @@ FrameTicket ShardedRuntime::submit(Cell& cell, const FrameJob& job,
     Shard& sh = *shards_[s];
     {
       std::lock_guard lock(sh.mu);
+      parallel::guard_detail::note_lock();
       sh.mailbox.push_back(&pj);
       // Counters at enqueue time (busy_seconds follows when the work
       // runs): deterministic for stats() calls after submit returned.
@@ -255,6 +264,7 @@ FrameTicket ShardedRuntime::submit(Cell& cell, const FrameJob& job,
   }
   {
     std::unique_lock lock(pj.mu);
+    parallel::guard_detail::note_lock();
     pj.cv.wait(lock, [&] { return pj.remaining == 0; });
   }
 
@@ -292,6 +302,7 @@ RuntimeStats ShardedRuntime::stats() const {
     ss.threads = sh->pool.size();
     ss.pinned_workers = sh->pool.pinned_workers();
     std::lock_guard lock(sh->mu);
+    parallel::guard_detail::note_lock();
     ss.frames = sh->frames;
     ss.partials = sh->partials;
     ss.rows_processed = sh->rows_processed;

@@ -657,7 +657,9 @@ TEST(ClosedLoop, AdaptiveMeetsTargetWithFewerPathsThanWorstCase) {
       }
     }
     rt.drain();
-    if (adaptive) EXPECT_GE(rt.stats().reconfigs, 2u);
+    if (adaptive) {
+      EXPECT_GE(rt.stats().reconfigs, 2u);
+    }
   }
   const double ser = static_cast<double>(errors_adaptive) /
                      static_cast<double>(symbols_adaptive);

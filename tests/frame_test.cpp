@@ -3,10 +3,7 @@
 // (detect::run_frame_grid) and its zero-allocation steady state.
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <cmath>
-#include <cstdlib>
-#include <new>
 #include <vector>
 
 #include "api/uplink_pipeline.h"
@@ -15,6 +12,7 @@
 #include "detect/fcsd.h"
 #include "detect/path_grid.h"
 #include "frame_fixtures.h"
+#include "parallel/hot_path_guard.h"
 #include "parallel/thread_pool.h"
 
 namespace fa = flexcore::api;
@@ -27,59 +25,10 @@ using flexcore::modulation::Constellation;
 
 // ------------------------------------------------------- allocation probe
 //
-// Every operator-new in this binary bumps a counter; the steady-state grid
-// test asserts the count stays flat across a warm run.  Deletes route to
-// free, so mixing with the default allocator is safe.
-
-namespace {
-std::atomic<std::size_t> g_alloc_calls{0};
-}  // namespace
-
-void* operator new(std::size_t sz) {
-  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(sz ? sz : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t sz) { return ::operator new(sz); }
-void* operator new(std::size_t sz, std::align_val_t al) {
-  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
-  const std::size_t a = static_cast<std::size_t>(al);
-  const std::size_t rounded = (sz + a - 1) / a * a;
-  if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t sz, std::align_val_t al) {
-  return ::operator new(sz, al);
-}
-// The nothrow forms must be overridden too: libstdc++'s stable_sort
-// temporary buffer allocates through operator new(size, nothrow) — leaving
-// it to the default allocator while delete routes to free() is an
-// alloc/dealloc family mismatch under ASan.
-void* operator new(std::size_t sz, const std::nothrow_t&) noexcept {
-  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(sz ? sz : 1);
-}
-void* operator new[](std::size_t sz, const std::nothrow_t& t) noexcept {
-  return ::operator new(sz, t);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete(void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
+// Allocation counting comes from the library's own hot-path guard
+// (parallel/hot_path_guard.h): libflexcore interposes operator new/delete
+// process-wide, and a HotPathScope armed with Scope::kProcess counts every
+// thread's allocations while it is live.
 
 namespace {
 
@@ -435,11 +384,12 @@ TEST(FrameGrid, SteadyStateGridDoesNotAllocate) {
     fd::run_frame_grid<fc::FlexCoreDetector>(ptrs, paths, fr.ys, nv, n, pool,
                                              &grid);
 
-    const std::size_t before = g_alloc_calls.load(std::memory_order_relaxed);
+    flexcore::parallel::HotPathScope guard(
+        "frame grid steady state",
+        flexcore::parallel::HotPathScope::Scope::kProcess);
     fd::run_frame_grid<fc::FlexCoreDetector>(ptrs, paths, fr.ys, nv, n, pool,
                                              &grid);
-    const std::size_t after = g_alloc_calls.load(std::memory_order_relaxed);
-    EXPECT_EQ(after - before, 0u) << "threads=" << threads;
+    EXPECT_EQ(guard.delta().allocations, 0u) << "threads=" << threads;
 
     // The grid still produced verdicts.
     ASSERT_EQ(grid.best_path.size(), nsc * nv);
@@ -471,10 +421,11 @@ TEST(PathGrid, SteadyStateGridDoesNotAllocate) {
     run_both();  // warm: grow every buffer to its high-water mark
     run_both();
 
-    const std::size_t before = g_alloc_calls.load(std::memory_order_relaxed);
+    flexcore::parallel::HotPathScope guard(
+        "path grid steady state",
+        flexcore::parallel::HotPathScope::Scope::kProcess);
     run_both();
-    const std::size_t after = g_alloc_calls.load(std::memory_order_relaxed);
-    EXPECT_EQ(after - before, 0u) << "threads=" << threads;
+    EXPECT_EQ(guard.delta().allocations, 0u) << "threads=" << threads;
 
     ASSERT_EQ(grid.best_path.size(), fr.ys.size());
     for (double m : grid.best_metric) EXPECT_TRUE(std::isfinite(m));

@@ -392,8 +392,8 @@ TEST(KernelI16, SerWithinToleranceAcrossFamiliesAndQam) {
           }
         }
       }
-      const double ser64 = static_cast<double>(err64) / symbols;
-      const double ser16 = static_cast<double>(err16) / symbols;
+      const double ser64 = static_cast<double>(err64) / static_cast<double>(symbols);
+      const double ser16 = static_cast<double>(err16) / static_cast<double>(symbols);
       EXPECT_LE(ser16, ser64 + fd::kI16SerTolerance)
           << sw.i16 << " qam=" << qam_order << " ser64=" << ser64
           << " ser16=" << ser16;

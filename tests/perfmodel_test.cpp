@@ -126,7 +126,7 @@ TEST(LteModel, FcsdFeasibilityLevels) {
   // Budget that affords 64..4095 paths at 1.25 MHz -> L = 1 only.
   const auto& narrow = pm::kLteModes[0];
   const double rate_l1 =
-      65.0 * pm::vectors_per_slot(narrow) / pm::kSlotSeconds;
+      65.0 * static_cast<double>(pm::vectors_per_slot(narrow)) / pm::kSlotSeconds;
   EXPECT_EQ(pm::fcsd_supported_level(rate_l1, narrow, 64), 1);
   // Tiny budget: not even L = 1.
   EXPECT_EQ(pm::fcsd_supported_level(1e3, narrow, 64), -1);

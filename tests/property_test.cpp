@@ -97,7 +97,8 @@ TEST_P(BijectionSweep, AllPositionVectorsWithExactOrderingAreML) {
 
   fa::DetectorConfig acfg{.constellation = &c};
   acfg.flexcore.num_pes = 1;
-  while (acfg.flexcore.num_pes < std::pow(4.0, static_cast<double>(nt))) {
+  while (static_cast<double>(acfg.flexcore.num_pes) <
+         std::pow(4.0, static_cast<double>(nt))) {
     acfg.flexcore.num_pes *= 4;
   }
   acfg.flexcore.ordering = fc::OrderingMode::kExactSort;

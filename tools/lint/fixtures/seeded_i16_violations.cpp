@@ -1,0 +1,39 @@
+// Seeded-violation fixture for the HP004 i16-datapath rule.
+//
+// Kept separate from seeded_violations.cpp because the i16-datapath
+// directive makes EVERY floating-point type in the file a violation — the
+// other fixture needs double/float freely for its HP005 cases.
+//
+// flexcore-lint: i16-datapath
+
+#include <cstdint>
+
+namespace fixture_i16 {
+
+// Integer-only code is fine: the whole point of the i16 tier is that the
+// inner product, slicing, and metric accumulation stay in int16/int32.
+inline std::int32_t accumulate(const std::int16_t* re, const std::int16_t* im,
+                               int n) {
+  std::int32_t acc = 0;
+  for (int i = 0; i < n; ++i) {
+    acc += static_cast<std::int32_t>(re[i]) * im[i];
+  }
+  return acc;
+}
+
+inline double unscale_metric(std::int32_t acc) {   // expect-violation(HP004)
+  return static_cast<double>(acc) * 0.5;           // expect-violation(HP004)
+}
+
+inline float creeping_float = 1.0f;                // expect-violation(HP004)
+
+// The sanctioned boundary pattern: the fp conversion at the kernel exit is
+// suppressed with a justification, exactly like the real
+// path_kernels_i16_kernel.inc unscale epilogue.
+// flexcore-lint: allow-next-line(HP004) i16->fp metric boundary, fixture
+inline double sanctioned_unscale(std::int32_t acc) {
+  // flexcore-lint: allow-next-line(HP004) i16->fp metric boundary, fixture
+  return static_cast<double>(acc);
+}
+
+}  // namespace fixture_i16

@@ -1,0 +1,82 @@
+// Seeded-violation fixture for flexcore_lint --self-test.
+//
+// NEVER compiled and NEVER linted as part of the tree — it exists so the
+// lint ctest can prove the pass FAILS when the rules are broken.  Every
+// line that must be reported carries an `expect-violation(RULE)` marker;
+// the self-test fails if any marked violation is missed OR any unmarked
+// line fires (so false positives in the checker are caught too).
+//
+// flexcore-lint: kernel-tu
+// (the directive classifies this file as a kernel translation unit, the
+// strictest category: lock, std::function, and SoA rules apply file-wide.)
+
+#include <complex>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+using cplx = std::complex<double>;  // expect-violation(HP005)
+
+// --- hot-region rules: HP001 / HP002 -------------------------------------
+
+#define FLEXCORE_HOT_PATH
+
+FLEXCORE_HOT_PATH
+inline int hot_function(std::vector<int>& v) {
+  int* leak = new int[8];                    // expect-violation(HP001)
+  void* raw = std::malloc(64);               // expect-violation(HP001)
+  v.push_back(1);                            // expect-violation(HP001)
+  v.resize(32);                              // expect-violation(HP001)
+  std::function<int(int)> f = [](int x) {    // expect-violation(HP002)
+    return x + 1;
+  };
+  std::free(raw);
+  delete[] leak;                             // expect-violation(HP001)
+  return f(static_cast<int>(v.size()));
+}
+
+// A justified suppression must NOT be reported: warm-capacity reuse is the
+// repo's sanctioned pattern.
+FLEXCORE_HOT_PATH
+inline void hot_function_with_allow(std::vector<int>& v) {
+  v.resize(16);  // flexcore-lint: allow(HP001) warm-capacity reuse, fixture
+}
+
+// Outside any hot region, allocation is fine (cold setup code) — this must
+// NOT be reported even though the file is a kernel TU.
+inline void cold_setup(std::vector<int>& v) { v.reserve(1024); }
+
+// An annotation with no function body is itself an error.
+FLEXCORE_HOT_PATH             // expect-violation(LNT001)
+void declared_only(int rank);
+
+// --- kernel-TU-wide rules: HP003 / HP005 ---------------------------------
+
+std::mutex g_mu;                             // expect-violation(HP003)
+
+inline void kernel_takes_lock() {
+  g_mu.lock();                               // expect-violation(HP003)
+  g_mu.unlock();
+}
+
+inline cplx materialize(double re, double im) {
+  return cplx{re, im};                       // expect-violation(HP005)
+}
+
+std::vector<cplx> g_aos_buffer;              // expect-violation(HP005)
+
+// Words that merely CONTAIN rule tokens must not fire: `block`, `clock`,
+// `newton` contain `lock`/`new` but are not violations.
+inline int eval_block(int clock_ticks, int newton_iters) {
+  return clock_ticks + newton_iters;
+}
+
+// flexcore-lint: off
+// Inside an off region nothing fires, even in a kernel TU:
+inline void suppressed_region() { g_mu.lock(); }
+// flexcore-lint: on
+
+}  // namespace fixture
