@@ -4,6 +4,7 @@
 //
 // Schema (one object per file):
 //   { "bench": "<name>", "hardware_concurrency": <threads>,
+//     "git_sha": "<short sha|unknown>", "generated_utc": "<ISO-8601 Z>",
 //     "rows": [ { "<field>": <value>, ... }, ... ] }
 //
 // hardware_concurrency records the machine the numbers came from — thread
@@ -17,10 +18,17 @@
 
 #include <cmath>
 #include <cstdio>
+#include <ctime>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+// Stamped by CMake from `git rev-parse --short HEAD` at configure time so
+// committed BENCH_*.json files say which code produced them.
+#ifndef FLEXCORE_GIT_SHA
+#define FLEXCORE_GIT_SHA "unknown"
+#endif
 
 namespace flexcore::bench {
 
@@ -70,9 +78,16 @@ class BenchJson {
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    if (std::tm* utc = std::gmtime(&now)) {
+      std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", utc);
+    }
     std::fprintf(f, "{\"bench\": %s, \"hardware_concurrency\": %u, "
+                    "\"git_sha\": %s, \"generated_utc\": \"%s\", "
                     "\"rows\": [\n",
-                 quote(name_).c_str(), std::thread::hardware_concurrency());
+                 quote(name_).c_str(), std::thread::hardware_concurrency(),
+                 quote(FLEXCORE_GIT_SHA).c_str(), stamp);
     for (std::size_t r = 0; r < rows_.size(); ++r) {
       std::fprintf(f, "  {");
       for (std::size_t i = 0; i < rows_[r].size(); ++i) {

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,36 @@ inline void append_latency_buckets(BenchJson& json,
       key = "lat_us_inf";
     }
     json.field(key.c_str(), rs.latency_buckets[i]);
+  }
+}
+
+/// Appends the per-stage latency breakdown (obs::Stage taxonomy) to the
+/// current BenchJson row: stage_<name>_count / _p50_us / _p99_us per
+/// serving stage, interpolated quantiles.  Stage names use '_' where the
+/// taxonomy uses '-' ("queue-wait" -> stage_queue_wait_p50_us).  Keys are
+/// emitted even for empty stages (count 0, null quantiles) so the row
+/// schema stays stable.
+inline void append_stage_latency(BenchJson& json,
+                                 const api::RuntimeStats& rs) {
+  static constexpr obs::Stage kStages[] = {
+      obs::Stage::kQueueWait,   obs::Stage::kShardPartialQr,
+      obs::Stage::kPreprocess,  obs::Stage::kPathGrid,
+      obs::Stage::kReconstruct,
+  };
+  for (const obs::Stage stage : kStages) {
+    std::string name = obs::to_string(stage);
+    for (char& c : name) {
+      if (c == '-') c = '_';
+    }
+    const api::LatencyHistogram& h = rs.stage(stage);
+    json.field(("stage_" + name + "_count").c_str(), h.count());
+    const bool empty = h.count() == 0;
+    json.field(("stage_" + name + "_p50_us").c_str(),
+               empty ? std::numeric_limits<double>::quiet_NaN()
+                     : h.quantile_interp_us(0.50));
+    json.field(("stage_" + name + "_p99_us").c_str(),
+               empty ? std::numeric_limits<double>::quiet_NaN()
+                     : h.quantile_interp_us(0.99));
   }
 }
 

@@ -8,6 +8,7 @@
 // trajectory.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "bench_json.h"
 #include "bench_util.h"
 #include "channel/channel.h"
+#include "obs/trace_export.h"
 #include "sim/frame_synth.h"
 
 namespace fa = flexcore::api;
@@ -135,8 +137,9 @@ int main() {
             .field("latency_p99_us", r.stats.latency_p99_us)
             .field("latency_mean_us", r.stats.latency_mean_us);
         // Full distribution, not just the two quantiles: one field per
-        // power-of-two histogram bucket.
+        // power-of-two histogram bucket, plus the per-stage breakdown.
         fb::append_latency_buckets(json, r.stats);
+        fb::append_stage_latency(json, r.stats);
       }
     }
   }
@@ -148,5 +151,14 @@ int main() {
               "stop shedding as the queue deepens.\n");
   std::printf("  * Aggregate vec/s grows with cells until the shared PE "
               "pool saturates.\n");
+
+  // With tracing live (FLEXCORE_OBS_TRACE=1), FLEXCORE_TRACE_OUT=<path>
+  // exports everything the span rings retained as a Chrome/Perfetto trace.
+  if (const char* trace_out = std::getenv("FLEXCORE_TRACE_OUT");
+      trace_out && *trace_out) {
+    const bool ok = flexcore::obs::export_chrome_trace(trace_out);
+    std::printf("\ntrace: %s %s\n", ok ? "wrote" : "FAILED to write",
+                trace_out);
+  }
   return 0;
 }

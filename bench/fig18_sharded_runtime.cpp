@@ -10,12 +10,14 @@
 // trajectory.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
 #include "bench_json.h"
 #include "bench_util.h"
 #include "channel/channel.h"
+#include "obs/trace_export.h"
 #include "shard/sharded_runtime.h"
 #include "sim/frame_synth.h"
 
@@ -137,6 +139,7 @@ int main() {
           .field("latency_p99_us", r.stats.latency_p99_us)
           .field("latency_mean_us", r.stats.latency_mean_us)
           .field("seconds", r.seconds);
+      fb::append_stage_latency(json, r.stats);
       // Per-shard counters, flattened: the consistency the tests pin
       // (frames identical across shards, rows partitioning B) stays
       // visible in the trajectory.
@@ -159,5 +162,15 @@ int main() {
               "preprocessing (16 rows -> 8 at C=2).\n");
   std::printf("  * Per-shard frames are identical across shards; rows sum "
               "to B per subcarrier.\n");
+
+  // With tracing live (FLEXCORE_OBS_TRACE=1), FLEXCORE_TRACE_OUT=<path>
+  // exports the retained spans — per-shard tracks included — as a
+  // Chrome/Perfetto trace.
+  if (const char* trace_out = std::getenv("FLEXCORE_TRACE_OUT");
+      trace_out && *trace_out) {
+    const bool ok = flexcore::obs::export_chrome_trace(trace_out);
+    std::printf("\ntrace: %s %s\n", ok ? "wrote" : "FAILED to write",
+                trace_out);
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include "parallel/hot_path_guard.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
@@ -208,7 +209,12 @@ Runtime::Runtime(const RuntimeConfig& cfg)
   }
   dispatchers_.reserve(cfg_.dispatchers);
   for (std::size_t d = 0; d < cfg_.dispatchers; ++d) {
-    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+    dispatchers_.emplace_back([this, d] {
+      char track[32];
+      std::snprintf(track, sizeof(track), "dispatcher%zu", d);
+      obs::set_thread_track(track);
+      dispatcher_loop();
+    });
   }
 }
 
@@ -243,6 +249,7 @@ std::size_t Runtime::cell_count() const {
 FrameTicket Runtime::submit(Cell& cell, const FrameJob& job,
                             std::uint64_t deadline_us) {
   validate_frame_job(job);
+  const std::uint64_t sub_t0_ns = obs::tracing_enabled() ? obs::now_ns() : 0;
   auto st = std::make_shared<TicketState>();
   st->cell_id = cell.id_;
 
@@ -258,6 +265,7 @@ FrameTicket Runtime::submit(Cell& cell, const FrameJob& job,
         st->seq = cell.next_seq_++;
         ++cell.frames_in_;
         ++cell.frames_dropped_;
+        obs::counter_add(obs::Counter::kFramesDropped);
         lock.unlock();
         FrameTicket ticket(st);
         complete_ticket(*st, TicketStatus::kDropped, FrameResult{}, "");
@@ -294,6 +302,14 @@ FrameTicket Runtime::submit(Cell& cell, const FrameJob& job,
   ++cell.frames_in_;
   Cell::Pending pf;
   pf.job = job;
+  // Decide the frame's trace identity exactly once: a ShardedRuntime (or a
+  // caller stamping jobs itself) already decided, the monolithic path
+  // decides here — under the runtime lock, so the id sequence follows
+  // admission order.
+  if (!pf.job.trace.decided) {
+    pf.job.trace = obs::begin_frame(static_cast<std::uint32_t>(cell.id_));
+  }
+  const obs::TraceCtx trace = pf.job.trace;
   pf.ticket = st;
   pf.submitted = Clock::now();
   pf.deadline = deadline_us > 0
@@ -301,10 +317,16 @@ FrameTicket Runtime::submit(Cell& cell, const FrameJob& job,
                     : Clock::time_point::max();
   cell.queue_.push_back(std::move(pf));
   ++queued_total_;
+  obs::counter_add(obs::Counter::kFramesSubmitted);
   if (!cell.scheduled_) {
     cell.scheduled_ = true;
     runnable_.push_back(&cell);
     runnable_cv_.notify_one();
+  }
+  if (obs::want_span(trace) && sub_t0_ns != 0) {
+    // Admission span: submit() entry to enqueue — the blocking wait under
+    // backpressure is exactly this span's duration.
+    obs::record_span(obs::Stage::kSubmit, sub_t0_ns, obs::now_ns(), trace);
   }
   return FrameTicket(std::move(st));
 }
@@ -395,6 +417,7 @@ bool Runtime::expire_stale(std::unique_lock<std::mutex>& lock) {
     }
   }
   if (expired.empty()) return false;
+  obs::counter_add(obs::Counter::kFramesExpired, expired.size());
   space_cv_.notify_all();
   drain_cv_.notify_all();
   lock.unlock();
@@ -423,11 +446,16 @@ void Runtime::process_next(std::unique_lock<std::mutex>& lock) {
   // once a first frame warmed the per-subcarrier preprocessing caches.
   const bool reuse = pf.job.reuse_preprocessing ||
                      (cell->cfg_.reuse_preprocessing && cell->warm_);
+  const auto dispatch_start = Clock::now();
   lock.unlock();
 
   TicketStatus status;
   FrameResult result;
   std::string error;
+  // Stage timings of this frame, captured before the result is moved into
+  // the ticket; recorded into the per-stage histograms under the re-taken
+  // lock below (kDone only).
+  double pre_us = 0.0, grid_us = 0.0, rec_us = 0.0;
   if (cfg_.policy == QueuePolicy::kDeadlineExpire &&
       Clock::now() > pf.deadline) {
     status = TicketStatus::kExpired;  // never occupies the PE pool
@@ -437,14 +465,26 @@ void Runtime::process_next(std::unique_lock<std::mutex>& lock) {
     try {
       result = cell->pipe_.detect_frame(job);
       status = TicketStatus::kDone;
+      pre_us = result.preprocess_seconds * 1e6;
+      grid_us = result.detect_seconds * 1e6;
+      rec_us = result.reconstruct_seconds * 1e6;
     } catch (const std::exception& e) {
       status = TicketStatus::kFailed;
       error = e.what();
     }
   }
+  const auto done = Clock::now();
   const double latency_us =
-      std::chrono::duration<double, std::micro>(Clock::now() - pf.submitted)
+      std::chrono::duration<double, std::micro>(done - pf.submitted).count();
+  const double queue_wait_us =
+      std::chrono::duration<double, std::micro>(dispatch_start - pf.submitted)
           .count();
+  if (obs::want_span(pf.job.trace) && status == TicketStatus::kDone) {
+    obs::record_span(obs::Stage::kQueueWait, obs::to_ns(pf.submitted),
+                     obs::to_ns(dispatch_start), pf.job.trace);
+    obs::record_span(obs::Stage::kComplete, obs::to_ns(pf.submitted),
+                     obs::to_ns(done), pf.job.trace);
+  }
 
   // Ticket first (callbacks run without any lock), bookkeeping second.
   // The cell is NOT released until the callbacks return: that is what
@@ -464,9 +504,24 @@ void Runtime::process_next(std::unique_lock<std::mutex>& lock) {
       ++cell->frames_out_;
       cell->warm_ = true;
       latency_.record(latency_us);
+      // Per-stage breakdown, one sample per stage per kDone frame (reuse
+      // hits record a 0 us preprocess sample), so every dispatch-side
+      // stage count equals latency_count.
+      stage_record(obs::Stage::kQueueWait, queue_wait_us);
+      stage_record(obs::Stage::kPreprocess, pre_us);
+      stage_record(obs::Stage::kPathGrid, grid_us);
+      stage_record(obs::Stage::kReconstruct, rec_us);
+      stage_record(obs::Stage::kComplete, latency_us);
+      obs::counter_add(obs::Counter::kFramesCompleted);
       break;
-    case TicketStatus::kExpired: ++cell->frames_expired_; break;
-    case TicketStatus::kFailed: ++cell->frames_failed_; break;
+    case TicketStatus::kExpired:
+      ++cell->frames_expired_;
+      obs::counter_add(obs::Counter::kFramesExpired);
+      break;
+    case TicketStatus::kFailed:
+      ++cell->frames_failed_;
+      obs::counter_add(obs::Counter::kFramesFailed);
+      break;
     default: break;
   }
   --in_flight_;
@@ -508,6 +563,7 @@ void Runtime::apply_reconfig(std::unique_lock<std::mutex>& lock, Cell* cell,
     // re-preprocesses even under the cell's coherence policy.
     cell->warm_ = false;
     ++cell->reconfigs_;
+    obs::counter_add(obs::Counter::kReconfigsApplied);
   }
   cell->busy_reconfig_ = false;
   --in_flight_reconfigs_;
@@ -604,6 +660,7 @@ RuntimeStats Runtime::stats() const {
   out.latency_p50_us = latency_.quantile_us(0.50);
   out.latency_p99_us = latency_.quantile_us(0.99);
   out.latency_buckets = latency_.buckets();
+  out.stage_latency = stage_latency_;
   return out;
 }
 

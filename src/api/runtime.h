@@ -58,6 +58,7 @@
 
 #include "api/cell.h"
 #include "api/uplink_pipeline.h"
+#include "obs/obs.h"
 #include "parallel/thread_pool.h"
 
 namespace flexcore::api {
@@ -144,6 +145,46 @@ class LatencyHistogram {
     return upper_edge_us(kBuckets - 1);
   }
 
+  /// Linearly-interpolated quantile: instead of the conservative upper
+  /// edge, the estimate walks into the winning bucket proportionally to
+  /// the target rank's position among that bucket's samples — a smoother
+  /// estimator for the per-stage breakdowns.  quantile_us stays the
+  /// conservative power-of-two answer tests pin exact values against.
+  double quantile_interp_us(double q) const noexcept {
+    if (count_ == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    if (target == 0) target = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (buckets_[i] == 0) continue;
+      if (seen + buckets_[i] >= target) {
+        // Bucket i spans [lower, upper); bucket 0 starts at 0 and the last
+        // bucket is open-ended, so its "upper" is twice its lower edge.
+        const double lower = i == 0 ? 0.0 : upper_edge_us(i - 1);
+        const double upper = i + 1 < kBuckets ? upper_edge_us(i)
+                                              : 2.0 * upper_edge_us(i - 1);
+        const double frac = static_cast<double>(target - seen) /
+                            static_cast<double>(buckets_[i]);
+        return lower + (upper - lower) * frac;
+      }
+      seen += buckets_[i];
+    }
+    return upper_edge_us(kBuckets - 1);
+  }
+
+  /// Accumulates another histogram into this one (bucket-wise; counts and
+  /// sums add) — how ShardedRuntime folds its shard-stage distribution
+  /// into the inner runtime's per-stage snapshot, and how bench harnesses
+  /// aggregate across sweeps.
+  void merge(const LatencyHistogram& other) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_us_ += other.sum_us_;
+  }
+
   static std::size_t bucket_of(double us) noexcept {
     if (!(us >= 1.0)) return 0;  // also catches NaN / negatives
     std::size_t i = 1;
@@ -212,6 +253,20 @@ struct RuntimeStats {
   /// [LatencyHistogram::upper_edge_us(i-1), upper_edge_us(i)) — see
   /// LatencyHistogram for the exact edges.  Sums to latency_count.
   std::array<std::uint64_t, LatencyHistogram::kBuckets> latency_buckets{};
+  /// Per-stage latency breakdown of kDone frames, indexed by obs::Stage.
+  /// Always on (independent of the FLEXCORE_OBS span gating — recording is
+  /// an O(1) array bump inside sections the runtime already locks).  The
+  /// dispatch-side stages (kQueueWait, kPreprocess, kPathGrid,
+  /// kReconstruct, kComplete) each count exactly latency_count samples —
+  /// a reuse-preprocessing hit records a 0 us preprocess sample rather
+  /// than skipping it, so the breakdown always sums consistently.
+  /// kShardPartialQr is populated only by ShardedRuntime and counts every
+  /// sharded-path frame (measured at submit, before admission can shed
+  /// the frame, so its count can exceed latency_count under shedding).
+  std::array<LatencyHistogram, obs::kStageCount> stage_latency{};
+  const LatencyHistogram& stage(obs::Stage s) const noexcept {
+    return stage_latency[static_cast<std::size_t>(s)];
+  }
 };
 
 /// Future-like handle to one submitted frame.  Cheap to copy (shared
@@ -360,6 +415,10 @@ class Runtime {
   /// completes their tickets after dropping the lock.  Returns whether any
   /// slot was freed.
   bool expire_stale(std::unique_lock<std::mutex>& lock);
+  /// Records one dispatch-stage latency sample.  Pre: mu_ held.
+  void stage_record(obs::Stage stage, double us) {
+    stage_latency_[static_cast<std::size_t>(stage)].record(us);
+  }
 
   RuntimeConfig cfg_;
   parallel::ThreadPool pool_;
@@ -376,6 +435,8 @@ class Runtime {
   std::size_t in_flight_reconfigs_ = 0;  ///< reconfigs being applied
   bool shutdown_ = false;
   LatencyHistogram latency_;
+  /// Per-stage breakdown behind mu_ (see RuntimeStats::stage_latency).
+  std::array<LatencyHistogram, obs::kStageCount> stage_latency_{};
 
   std::vector<std::thread> dispatchers_;
 };

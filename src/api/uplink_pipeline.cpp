@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "detect/fcsd.h"
+#include "obs/obs.h"
 #include "parallel/hot_path.h"
 
 namespace flexcore::api {
@@ -204,14 +205,24 @@ bool UplinkPipeline::try_typed_frame(const FrameJob& job, FrameResult* out) {
   const D* const* typed = reinterpret_cast<const D* const*>(frame_typed_.data());
   const std::size_t nt = job.channels.front().cols();
 
+  const bool spans = obs::want_span(job.trace);
+  const std::uint64_t grid_t0 = spans ? obs::now_ns() : 0;
   detect::run_frame_grid<D>(std::span<const D* const>(typed, nsc),
                             frame_paths_, job.ys, nv, nt, *pool_,
                             &frame_grid_);
+  if (spans) {
+    obs::record_span(obs::Stage::kPathGrid, grid_t0, obs::now_ns(),
+                     job.trace);
+  }
   out->tasks = frame_grid_.tasks;
   out->detect_seconds = frame_grid_.elapsed_seconds;
 
   // Winner reconstruction: one instrumented walk per vector, SIC fallback
-  // where every path was deactivated — same policy as detect_batch.
+  // where every path was deactivated — same policy as detect_batch.  Timed
+  // separately from the grid (FrameResult::reconstruct_seconds feeds the
+  // runtime's per-stage latency breakdown).
+  const auto rec_t0 = std::chrono::steady_clock::now();
+  const std::uint64_t rec_t0_ns = spans ? obs::now_ns() : 0;
   const std::size_t units = nsc * nv;
   workspaces_.ensure(pool_->size());
   // flexcore-lint: allow-next-line(HP001) warm-capacity reuse, never shrunk
@@ -225,6 +236,11 @@ bool UplinkPipeline::try_typed_frame(const FrameJob& job, FrameResult* out) {
     out->stats += out->results[u].stats;
     out->sic_fallbacks += frame_fell_[u];
   }
+  out->reconstruct_seconds = seconds_since(rec_t0);
+  if (spans) {
+    obs::record_span(obs::Stage::kReconstruct, rec_t0_ns, obs::now_ns(),
+                     job.trace);
+  }
   return true;
 }
 
@@ -232,11 +248,18 @@ bool UplinkPipeline::try_typed_frame(const FrameJob& job, FrameResult* out) {
 /// (still behind the parallel preprocessing and the pool-routed
 /// detect_batch overrides where they exist).
 void UplinkPipeline::generic_frame(const FrameJob& job, FrameResult* out) {
+  const bool spans = obs::want_span(job.trace);
+  const std::uint64_t t0_ns = spans ? obs::now_ns() : 0;
   const std::size_t nv = job.vectors_per_channel;
   detect::BatchResult batch;
   for (std::size_t f = 0; f < job.channels.size(); ++f) {
     frame_dets_[f]->detect_batch(job.ys.subspan(f * nv, nv), &batch);
     fold_batch_into_frame(batch, f * nv, out);
+  }
+  // Reconstruction is folded into the batch timing here, so the generic
+  // path reports the whole detection as one path-grid span.
+  if (spans) {
+    obs::record_span(obs::Stage::kPathGrid, t0_ns, obs::now_ns(), job.trace);
   }
 }
 
@@ -262,6 +285,7 @@ void UplinkPipeline::detect_frame(const FrameJob& job, FrameResult* out_ptr) {
   out.sum_active_paths = 0.0;
   out.preprocess_seconds = 0.0;
   out.detect_seconds = 0.0;
+  out.reconstruct_seconds = 0.0;
   // flexcore-lint: allow-next-line(HP001) warm-capacity reuse, never shrunk
   out.results.resize(job.ys.size());
   if (nsc == 0) return;
@@ -278,12 +302,20 @@ void UplinkPipeline::detect_frame(const FrameJob& job, FrameResult* out_ptr) {
                          frame_ready_channels_ == nsc &&
                          frame_ready_rows_ == job.channels.front().rows() &&
                          frame_ready_cols_ == job.channels.front().cols();
+  obs::counter_add(reuse_hit ? obs::Counter::kPreprocReuseHits
+                             : obs::Counter::kPreprocReuseMisses);
   if (!reuse_hit) {
+    const std::uint64_t pre_t0_ns =
+        obs::want_span(job.trace) ? obs::now_ns() : 0;
     const auto t0 = std::chrono::steady_clock::now();
     pool_->parallel_for(nsc, [&](std::size_t f) {
       frame_dets_[f]->set_channel(job.channels[f], job.noise_var);
     });
     out.preprocess_seconds = seconds_since(t0);
+    if (obs::want_span(job.trace)) {
+      obs::record_span(obs::Stage::kPreprocess, pre_t0_ns, obs::now_ns(),
+                       job.trace);
+    }
     out.channels_installed = nsc;
     channel_installs_ += nsc;
     frame_ready_channels_ = nsc;
@@ -299,6 +331,9 @@ void UplinkPipeline::detect_frame(const FrameJob& job, FrameResult* out_ptr) {
     generic_frame(job, &out);
   }
 
+  if (out.sic_fallbacks > 0) {
+    obs::counter_add(obs::Counter::kSicFallbacks, out.sic_fallbacks);
+  }
   vectors_detected_ += job.ys.size();
   total_stats_ += out.stats;
 }

@@ -44,6 +44,7 @@
 #include "detect/path_grid.h"
 #include "detect/workspace.h"
 #include "modulation/constellation.h"
+#include "obs/obs.h"
 #include "parallel/thread_pool.h"
 
 namespace flexcore::api {
@@ -97,6 +98,13 @@ struct FrameJob {
   /// The per-subcarrier loop cannot amortize this: set_channel overwrites
   /// the single-channel state on every subcarrier.
   bool reuse_preprocessing = false;
+  /// Flight-recorder identity of this frame (obs/obs.h), decided once at
+  /// the OUTERMOST submit — ShardedRuntime::submit, else Runtime::submit —
+  /// so the shard fabric and the pipeline agree on the sampling verdict
+  /// and frame id.  Callers driving detect_frame directly may leave it
+  /// default-initialized (undecided frames record no spans) or stamp it
+  /// with obs::begin_frame themselves.
+  obs::TraceCtx trace;
 };
 
 /// Output of one UplinkPipeline::detect_frame call.  `results` follows the
@@ -112,6 +120,10 @@ struct FrameResult {
   double sum_active_paths = 0.0;       ///< sum of per-subcarrier path counts
   double preprocess_seconds = 0.0;     ///< parallel QR + path selection
   double detect_seconds = 0.0;         ///< the frame task grid
+  /// Winner reconstruction + SIC rescue, separated from detect_seconds on
+  /// the fused typed path (0 on the generic per-subcarrier fallback, whose
+  /// batch timing folds reconstruction into detect_seconds).
+  double reconstruct_seconds = 0.0;
 };
 
 /// Validates a FrameJob's shape without running it; throws

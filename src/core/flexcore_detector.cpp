@@ -11,6 +11,7 @@
 #include <stdexcept>
 
 #include "detect/path_grid.h"
+#include "obs/obs.h"
 #include "parallel/thread_pool.h"
 
 namespace flexcore::core {
@@ -240,6 +241,11 @@ bool FlexCoreDetector::reconstruct_winner(std::span<const cplx> ybar,
     std::size_t rescue_path = 0;
     double rescue_metric = std::numeric_limits<double>::infinity();
     if (cfg_.precision != detect::Precision::kFloat64) {
+      if (cfg_.precision == detect::Precision::kInt16) {
+        // One exact scalar rescan of every active path, rescuing an i16
+        // winner that fell on the wrong side of a quantization boundary.
+        obs::counter_add(obs::Counter::kI16BoundaryRescans);
+      }
       for (std::size_t p = 0; p < active_paths_; ++p) {
         const double m = path_metric(ybar, p);
         if (m < rescue_metric) {

@@ -1,0 +1,103 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+
+namespace flexcore::obs {
+
+namespace {
+
+void append_escaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceSnapshot& snapshot) {
+  std::string out = "{\"traceEvents\": [\n";
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+                "\"tid\": 0, \"args\": {\"name\": \"flexcore\"}}");
+  out += buf;
+  for (std::size_t t = 0; t < snapshot.tracks.size(); ++t) {
+    std::snprintf(buf, sizeof buf,
+                  ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", "
+                  "\"pid\": 0, \"tid\": %zu, \"args\": {\"name\": ",
+                  t);
+    out += buf;
+    append_escaped(&out, snapshot.tracks[t]);
+    out += "}}";
+  }
+  for (const SpanRecord& span : snapshot.spans) {
+    // Trace-event timestamps are microseconds; keep nanosecond precision in
+    // the fractional digits.
+    const double ts_us = static_cast<double>(span.t0_ns) / 1000.0;
+    if (span.instant) {
+      std::snprintf(buf, sizeof buf,
+                    ",\n  {\"name\": \"%s\", \"cat\": \"flexcore\", "
+                    "\"ph\": \"i\", \"s\": \"t\", \"ts\": %.3f, "
+                    "\"pid\": 0, \"tid\": %zu, \"args\": {\"frame\": %llu, "
+                    "\"cell\": %u",
+                    to_string(span.stage), ts_us, span.track,
+                    static_cast<unsigned long long>(span.frame_id),
+                    span.cell);
+      out += buf;
+      if (span.stage == Stage::kControl) {
+        std::snprintf(buf, sizeof buf, ", \"reason\": \"%s\"",
+                      to_string(static_cast<ControlReason>(
+                          span.aux <=
+                                  static_cast<std::uint32_t>(
+                                      ControlReason::kOther)
+                              ? span.aux
+                              : static_cast<std::uint32_t>(
+                                    ControlReason::kOther))));
+        out += buf;
+      }
+      out += "}}";
+    } else {
+      const double dur_us =
+          static_cast<double>(span.t1_ns - span.t0_ns) / 1000.0;
+      std::snprintf(buf, sizeof buf,
+                    ",\n  {\"name\": \"%s\", \"cat\": \"flexcore\", "
+                    "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                    "\"pid\": 0, \"tid\": %zu, \"args\": {\"frame\": %llu, "
+                    "\"cell\": %u, \"aux\": %u}}",
+                    to_string(span.stage), ts_us, dur_us, span.track,
+                    static_cast<unsigned long long>(span.frame_id), span.cell,
+                    span.aux);
+      out += buf;
+    }
+  }
+  out += "\n], \"displayTimeUnit\": \"ns\"}\n";
+  return out;
+}
+
+std::string chrome_trace_json() { return chrome_trace_json(drain_spans()); }
+
+bool export_chrome_trace(const std::string& path) {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int rc = std::fclose(f);
+  return written == json.size() && rc == 0;
+}
+
+}  // namespace flexcore::obs

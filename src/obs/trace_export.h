@@ -1,0 +1,29 @@
+// Chrome/Perfetto trace-event export of the flight recorder's rings.
+//
+// chrome_trace_json() drains every span ring (obs::drain_spans) and renders
+// the Chrome trace-event JSON format — open the file at ui.perfetto.dev or
+// chrome://tracing.  One trace "thread" (tid) per recorded ring, named by
+// set_thread_track ("shard0", "dispatcher1", ...); duration spans become
+// ph:"X" complete events, control decisions ph:"i" instant events.  Events
+// are emitted sorted by start timestamp, so per-tid timestamps are
+// monotonic by construction (CI validates this).
+//
+// Control-plane only: drains, locks, allocates — never call on a hot path.
+#pragma once
+
+#include <string>
+
+#include "obs/obs.h"
+
+namespace flexcore::obs {
+
+/// Renders a drained TraceSnapshot as Chrome trace-event JSON.
+std::string chrome_trace_json(const TraceSnapshot& snapshot);
+
+/// Drains the rings and renders them (chrome_trace_json(drain_spans())).
+std::string chrome_trace_json();
+
+/// Drains the rings and writes the JSON to `path`; false on I/O failure.
+bool export_chrome_trace(const std::string& path);
+
+}  // namespace flexcore::obs

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -20,6 +21,7 @@ using Clock = std::chrono::steady_clock;
 struct ShardedRuntime::PrepJob {
   const FrameJob* job = nullptr;  ///< the caller's original job (borrowed)
   MergedFrame* merged = nullptr;
+  obs::TraceCtx trace;  ///< decided by submit(); shard drivers record with it
   std::vector<shard::RowRange> plan;
   std::vector<std::size_t> row_offsets;  ///< merged-row start per cluster
   std::size_t nt = 0;
@@ -181,6 +183,11 @@ void ShardedRuntime::run_prep(std::size_t shard_id, PrepJob& pj) {
 void ShardedRuntime::shard_loop(std::size_t shard_id) {
   Shard& sh = *shards_[shard_id];
   if (sh.driver_cpu >= 0) parallel::pin_current_thread(sh.driver_cpu);
+  {
+    char track[32];
+    std::snprintf(track, sizeof(track), "shard%zu", shard_id);
+    obs::set_thread_track(track);
+  }
   std::unique_lock lock(sh.mu);
   parallel::guard_detail::note_lock();
   for (;;) {
@@ -192,7 +199,14 @@ void ShardedRuntime::shard_loop(std::size_t shard_id) {
 
     const auto t0 = Clock::now();
     run_prep(shard_id, *pj);
-    const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    const auto t1 = Clock::now();
+    if (obs::want_span(pj->trace)) {
+      // One span per cluster on the shard's own track; aux = cluster id.
+      obs::record_span(obs::Stage::kShardPartialQr, obs::to_ns(t0),
+                       obs::to_ns(t1), pj->trace,
+                       static_cast<std::uint32_t>(shard_id));
+    }
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
     {
       // Notify UNDER the job lock: the moment the submitter observes
       // remaining == 0 it may unwind the PrepJob's stack frame, so the cv
@@ -228,6 +242,12 @@ FrameTicket ShardedRuntime::submit(Cell& cell, const FrameJob& job,
 
   PrepJob pj;
   pj.job = &job;
+  // This is the outermost submit for sharded frames: decide the trace
+  // identity here so every cluster's span and the inner runtime's stages
+  // agree on the frame id and the sampling verdict.
+  pj.trace = job.trace.decided
+                 ? job.trace
+                 : obs::begin_frame(static_cast<std::uint32_t>(cell.id()));
   pj.plan = shard::plan_shards(b, effective);
   pj.row_offsets.resize(pj.plan.size());
   std::size_t k = 0;
@@ -267,8 +287,25 @@ FrameTicket ShardedRuntime::submit(Cell& cell, const FrameJob& job,
     parallel::guard_detail::note_lock();
     pj.cv.wait(lock, [&] { return pj.remaining == 0; });
   }
+  const auto merged_at = Clock::now();
+  obs::counter_add(obs::Counter::kShardMergeFanins, effective);
+  if (obs::want_span(pj.trace)) {
+    // Whole-stage span on the SUBMITTER's track (fan-out through merge
+    // wait); the per-cluster spans it covers live on the shard tracks.
+    obs::record_span(obs::Stage::kShardPartialQr, obs::to_ns(t0),
+                     obs::to_ns(merged_at), pj.trace,
+                     static_cast<std::uint32_t>(effective));
+  }
+  {
+    const double stage_us =
+        std::chrono::duration<double, std::micro>(merged_at - t0).count();
+    std::lock_guard lock(shard_hist_mu_);
+    parallel::guard_detail::note_lock();
+    shard_hist_.record(stage_us);
+  }
 
   FrameJob inner = job;
+  inner.trace = pj.trace;
   inner.channels = std::span<const linalg::CMat>(merged->channels);
   inner.ys = std::span<const linalg::CVec>(merged->zs);
 
@@ -308,6 +345,16 @@ RuntimeStats ShardedRuntime::stats() const {
     ss.rows_processed = sh->rows_processed;
     ss.busy_seconds = sh->busy_seconds;
     out.shards.push_back(ss);
+  }
+  {
+    // The inner runtime never sees the shard stage; fold the submit-side
+    // histogram into the combined per-stage view.  NOTE: recorded at
+    // submit time, so (unlike the dispatch-side stages) its count can
+    // exceed latency_count when frames are later shed or dropped.
+    std::lock_guard lock(shard_hist_mu_);
+    parallel::guard_detail::note_lock();
+    out.stage_latency[static_cast<std::size_t>(obs::Stage::kShardPartialQr)]
+        .merge(shard_hist_);
   }
   return out;
 }

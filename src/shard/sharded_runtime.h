@@ -155,6 +155,12 @@ class ShardedRuntime {
   mutable std::mutex freelist_mu_;
   std::vector<std::shared_ptr<MergedFrame>> freelist_;
 
+  /// Submit-side shard-stage latency (fan-out -> merge wait), merged into
+  /// stats().stage_latency[obs::Stage::kShardPartialQr].  Own mutex: the
+  /// shard stage never touches the inner runtime's lock.
+  mutable std::mutex shard_hist_mu_;
+  LatencyHistogram shard_hist_;
+
   /// LAST member on purpose: destroyed FIRST, so its destructor's drain —
   /// which fires the ticket callbacks that recycle merged buffers into
   /// freelist_ — runs while the freelist (and the shards) still exist.

@@ -23,6 +23,7 @@
 #include "detect/path_kernels.h"
 #include "frame_fixtures.h"
 #include "linalg/qr.h"
+#include "obs/obs.h"
 #include "parallel/hot_path_guard.h"
 #include "parallel/thread_pool.h"
 #include "shard/sharded_runtime.h"
@@ -287,6 +288,57 @@ TEST(ShardedEnvelope, SubmitCompleteCostIndependentOfPathCount) {
   if (fp::hot_path_guard_enabled()) {
     EXPECT_LE(db.allocations, ds.allocations + 8u * kCycles);
   }
+}
+
+// --------------------------------------- tracing-enabled steady state
+
+TEST(ObsSteadyState, TracingEnabledKeepsDetectFrameZeroAllocZeroLock) {
+  // The observability contract: with spans compiled in (FLEXCORE_OBS=2)
+  // and every frame sampled, the steady-state frame path STILL performs
+  // zero heap allocations and zero lock acquisitions — span recording is a
+  // wait-free seqlock write into this thread's pre-registered ring.  The
+  // one cold-path allocation (ring registration at the thread's first
+  // record) happens in the warm-up passes below, outside the guard.
+  namespace obs = flexcore::obs;
+  if constexpr (obs::kLevel < 2) {
+    GTEST_SKIP() << "spans compiled out at FLEXCORE_OBS=" << obs::kLevel;
+  }
+  obs::ObsConfig ocfg;
+  ocfg.sample_every = 1;  // sample EVERY frame: the worst case
+  obs::reset_for_test(ocfg);
+
+  fa::PipelineConfig cfg;
+  cfg.detector = "flexcore-16";
+  cfg.qam_order = 16;
+  cfg.threads = 1;
+  fa::UplinkPipeline pipe(cfg);
+  const double nv = ch::noise_var_for_snr_db(14.0);
+  const Frame fr = make_frame(pipe.constellation(), 6, 3, 4, 4, nv, 43);
+
+  fa::FrameJob job = job_of(fr, nv);
+  job.trace = obs::begin_frame(0);
+  ASSERT_TRUE(obs::want_span(job.trace));
+  fa::FrameResult out;
+  pipe.detect_frame(job, &out);  // cold: preprocess, buffers, ring reg
+  job.reuse_preprocessing = true;
+  pipe.detect_frame(job, &out);  // warm reuse pass
+
+  fp::HotPathScope guard("traced detect_frame steady state", Scope::kThread);
+  pipe.detect_frame(job, &out);
+  const auto d = guard.delta();
+  if (fp::hot_path_guard_enabled()) {
+    EXPECT_EQ(d.allocations, 0u)
+        << "traced steady-state frame touched the heap";
+  }
+  EXPECT_EQ(d.lock_acquisitions, 0u)
+      << "traced steady-state frame took a lock";
+  EXPECT_EQ(out.results.size(), fr.ys.size());
+
+  // The spans really were recorded — this was not a vacuous pass.
+  const obs::MetricsSnapshot ms = obs::metrics_snapshot();
+  EXPECT_GT(ms.spans_recorded, 0u);
+
+  obs::reset_for_test();  // back to defaults for any later test
 }
 
 }  // namespace
