@@ -11,6 +11,7 @@
 // hold), while frames of DIFFERENT cells decode concurrently.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -72,7 +73,8 @@ struct CellReconfig {
 
 /// Per-cell counter snapshot inside RuntimeStats.  Consistency invariant
 /// (checked by tests): frames_in == frames_out + frames_dropped +
-/// frames_expired + frames_failed + queue_depth + in-flight (0 or 1).
+/// frames_expired + frames_failed + frames_quarantined + queue_depth +
+/// in-flight (0 or 1).
 /// Reconfigurations are control messages, not frames: they appear only in
 /// `reconfigs` and never in the frame counters or queue_depth.
 struct CellStats {
@@ -86,8 +88,15 @@ struct CellStats {
   std::uint64_t frames_dropped = 0;  ///< rejected by DropNewest admission
   std::uint64_t frames_expired = 0;  ///< completed Expired (DeadlineExpire)
   std::uint64_t frames_failed = 0;   ///< detection threw (status Failed)
+  std::uint64_t frames_quarantined = 0;  ///< numeric quarantine (see
+                                         ///< TicketStatus::kQuarantined)
   std::size_t queue_depth = 0;       ///< currently queued, not in flight
   std::size_t in_flight = 0;         ///< 0 or 1 (cells are serialized)
+  /// Watchdog verdict over the cell's recent terminal outcomes (the enum
+  /// lives in runtime.h; 0 == kHealthy).  Cheap: maintained inline by the
+  /// completion bookkeeping, no extra thread.
+  int health = 0;
+  std::uint64_t health_transitions = 0;  ///< state changes since open
 };
 
 class Runtime;
@@ -136,6 +145,19 @@ class Cell {
     std::chrono::steady_clock::time_point deadline;
   };
 
+  /// Watchdog outcome classes fed into the health ring (note_outcome).
+  enum class Outcome : std::uint8_t {
+    kOk = 0,   ///< completed kDone
+    kShed,     ///< dropped or expired — load, not input, is the problem
+    kBad,      ///< quarantined or failed — the input itself is suspect
+  };
+
+  /// Records one terminal outcome into the fixed health ring and
+  /// recomputes the cell's health verdict.  Returns true when the verdict
+  /// CHANGED (the caller bumps the watchdog-transition counter).  Pre: the
+  /// owning Runtime's mutex is held.
+  bool note_outcome(Outcome outcome);
+
   std::size_t id_;
   CellConfig cfg_;
   UplinkPipeline pipe_;
@@ -150,8 +172,19 @@ class Cell {
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t frames_expired_ = 0;
   std::uint64_t frames_failed_ = 0;
+  std::uint64_t frames_quarantined_ = 0;
   std::uint64_t reconfigs_ = 0;        ///< reconfigurations applied
   std::size_t queued_reconfigs_ = 0;   ///< reconfig entries in queue_
+
+  /// Health watchdog: fixed ring of the last kHealthWindow terminal
+  /// outcomes (frames only), plus the current verdict.  All guarded by the
+  /// owning Runtime's mutex like every other counter here.
+  static constexpr std::size_t kHealthWindow = 16;
+  std::array<Outcome, kHealthWindow> health_ring_{};
+  std::size_t health_idx_ = 0;   ///< next slot to overwrite
+  std::size_t health_len_ = 0;   ///< outcomes recorded, capped at window
+  int health_ = 0;               ///< CellHealth as int (header layering)
+  std::uint64_t health_transitions_ = 0;
 };
 
 }  // namespace flexcore::api

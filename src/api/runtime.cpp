@@ -27,6 +27,16 @@ const char* to_string(TicketStatus status) {
     case TicketStatus::kDropped: return "dropped";
     case TicketStatus::kExpired: return "expired";
     case TicketStatus::kFailed: return "failed";
+    case TicketStatus::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+const char* to_string(CellHealth health) {
+  switch (health) {
+    case CellHealth::kHealthy: return "healthy";
+    case CellHealth::kDegraded: return "degraded";
+    case CellHealth::kQuarantining: return "quarantining";
   }
   return "?";
 }
@@ -117,6 +127,15 @@ TicketStatus FrameTicket::wait() const {
   parallel::guard_detail::note_lock();
   st_->cv.wait(lock, [&] { return st_->status != TicketStatus::kPending; });
   return st_->status;
+}
+
+TicketStatus FrameTicket::wait_for(
+    std::chrono::steady_clock::duration timeout) const {
+  std::unique_lock lock(st_->mu);
+  parallel::guard_detail::note_lock();
+  st_->cv.wait_for(lock, timeout,
+                   [&] { return st_->status != TicketStatus::kPending; });
+  return st_->status;  // kPending iff the wait timed out
 }
 
 const FrameResult* FrameTicket::try_get() const {
@@ -248,7 +267,12 @@ std::size_t Runtime::cell_count() const {
 
 FrameTicket Runtime::submit(Cell& cell, const FrameJob& job,
                             std::uint64_t deadline_us) {
-  validate_frame_job(job);
+  // Shape checks always; the per-entry non-finite scan only when the
+  // admission knob asks for it (see RuntimeConfig::admission_scan) —
+  // detect_frame re-runs the full check on the dispatch path either way,
+  // quarantining instead of throwing.
+  validate_frame_job(job, cfg_.admission_scan ? FrameCheck::kFull
+                                              : FrameCheck::kShape);
   const std::uint64_t sub_t0_ns = obs::tracing_enabled() ? obs::now_ns() : 0;
   auto st = std::make_shared<TicketState>();
   st->cell_id = cell.id_;
@@ -266,6 +290,9 @@ FrameTicket Runtime::submit(Cell& cell, const FrameJob& job,
         ++cell.frames_in_;
         ++cell.frames_dropped_;
         obs::counter_add(obs::Counter::kFramesDropped);
+        if (cell.note_outcome(Cell::Outcome::kShed)) {
+          obs::counter_add(obs::Counter::kWatchdogTransitions);
+        }
         lock.unlock();
         FrameTicket ticket(st);
         complete_ticket(*st, TicketStatus::kDropped, FrameResult{}, "");
@@ -405,6 +432,9 @@ bool Runtime::expire_stale(std::unique_lock<std::mutex>& lock) {
         it = q.erase(it);
         --queued_total_;
         ++cell->frames_expired_;
+        if (cell->note_outcome(Cell::Outcome::kShed)) {
+          obs::counter_add(obs::Counter::kWatchdogTransitions);
+        }
       } else {
         ++it;
       }
@@ -468,6 +498,17 @@ void Runtime::process_next(std::unique_lock<std::mutex>& lock) {
       pre_us = result.preprocess_seconds * 1e6;
       grid_us = result.detect_seconds * 1e6;
       rec_us = result.reconstruct_seconds * 1e6;
+    } catch (const NonFiniteError& e) {
+      // Corrupt payload/channel caught by the pipeline's full scan: an
+      // input fault, not a detection failure — quarantine the frame so
+      // callers can tell "your data was bad" from "detection broke".
+      status = TicketStatus::kQuarantined;
+      error = e.what();
+    } catch (const NumericError& e) {
+      // Finite but numerically unusable channel (rank-deficient QR): the
+      // pipeline already invalidated its preprocessing caches.
+      status = TicketStatus::kQuarantined;
+      error = e.what();
     } catch (const std::exception& e) {
       status = TicketStatus::kFailed;
       error = e.what();
@@ -499,6 +540,7 @@ void Runtime::process_next(std::unique_lock<std::mutex>& lock) {
   // still see it as in flight — the consistent direction).
   lock.lock();
   parallel::guard_detail::note_lock();  // re-acquired after unlocked section
+  bool transitioned = false;
   switch (status) {
     case TicketStatus::kDone:
       ++cell->frames_out_;
@@ -513,16 +555,33 @@ void Runtime::process_next(std::unique_lock<std::mutex>& lock) {
       stage_record(obs::Stage::kReconstruct, rec_us);
       stage_record(obs::Stage::kComplete, latency_us);
       obs::counter_add(obs::Counter::kFramesCompleted);
+      transitioned = cell->note_outcome(Cell::Outcome::kOk);
       break;
     case TicketStatus::kExpired:
       ++cell->frames_expired_;
       obs::counter_add(obs::Counter::kFramesExpired);
+      transitioned = cell->note_outcome(Cell::Outcome::kShed);
       break;
     case TicketStatus::kFailed:
       ++cell->frames_failed_;
+      // Whatever threw may have left the frame detectors' per-channel
+      // state partially updated: force the next frame to re-preprocess.
+      cell->warm_ = false;
       obs::counter_add(obs::Counter::kFramesFailed);
+      transitioned = cell->note_outcome(Cell::Outcome::kBad);
+      break;
+    case TicketStatus::kQuarantined:
+      ++cell->frames_quarantined_;
+      // The pipeline invalidated its preprocessing caches; drop the
+      // cell-level warmup too so coherence reuse restarts cleanly.
+      cell->warm_ = false;
+      obs::counter_add(obs::Counter::kFramesQuarantined);
+      transitioned = cell->note_outcome(Cell::Outcome::kBad);
       break;
     default: break;
+  }
+  if (transitioned) {
+    obs::counter_add(obs::Counter::kWatchdogTransitions);
   }
   --in_flight_;
   release_cell_locked(cell);
@@ -640,6 +699,9 @@ RuntimeStats Runtime::stats() const {
     cs.frames_dropped = cell->frames_dropped_;
     cs.frames_expired = cell->frames_expired_;
     cs.frames_failed = cell->frames_failed_;
+    cs.frames_quarantined = cell->frames_quarantined_;
+    cs.health = cell->health_;
+    cs.health_transitions = cell->health_transitions_;
     cs.reconfigs = cell->reconfigs_;
     // Control messages are not frames: queue_depth/in_flight stay
     // frame-only so the stats invariant holds across reconfigurations.
@@ -650,6 +712,7 @@ RuntimeStats Runtime::stats() const {
     out.frames_dropped += cs.frames_dropped;
     out.frames_expired += cs.frames_expired;
     out.frames_failed += cs.frames_failed;
+    out.frames_quarantined += cs.frames_quarantined;
     out.reconfigs += cs.reconfigs;
     out.cells.push_back(std::move(cs));
   }

@@ -87,10 +87,28 @@ enum class TicketStatus {
   kDone,     ///< detected; result available
   kDropped,  ///< rejected by kDropNewest admission
   kExpired,  ///< deadline passed before dispatch (kDeadlineExpire)
-  kFailed    ///< detection threw; see FrameTicket::error()
+  kFailed,   ///< detection threw; see FrameTicket::error()
+  /// Dispatch-side numeric quarantine: the frame carried non-finite data
+  /// or a channel QR could not factorize (api::NonFiniteError /
+  /// api::NumericError).  A quarantined frame terminates cleanly — no
+  /// partial result, the cell's preprocessing caches are invalidated, and
+  /// the next frame of the cell is detected from scratch.  See
+  /// FrameTicket::error() for the offending coordinates.
+  kQuarantined
 };
 
 const char* to_string(TicketStatus status);
+
+/// Watchdog verdict on one cell's recent terminal outcomes (CellStats::
+/// health).  Computed over a fixed ring of the cell's last completions:
+///   kHealthy      — completing normally.
+///   kDegraded     — shedding load (drops/expiries) but detection works.
+///   kQuarantining — repeated numeric quarantines / failures: the cell's
+///                   input is suspect (corrupt fronthaul, broken channel
+///                   estimates), not merely overloaded.
+enum class CellHealth { kHealthy, kDegraded, kQuarantining };
+
+const char* to_string(CellHealth health);
 
 struct RuntimeConfig {
   /// Worker threads of the ONE pool shared by every cell's task grids
@@ -106,6 +124,14 @@ struct RuntimeConfig {
   /// Must be >= 1.
   std::size_t queue_capacity = 16;
   QueuePolicy policy = QueuePolicy::kBlock;
+  /// Depth of the synchronous validation submit() runs: true (default)
+  /// scans every channel/payload entry for NaN/Inf at the call site
+  /// (FrameCheck::kFull — malformed jobs throw in the submitter);
+  /// false checks shapes only, letting non-finite frames reach the
+  /// dispatch path where they complete as kQuarantined.  Fault-injection
+  /// harnesses run with false so corruption exercises the quarantine
+  /// machinery end to end; detect_frame itself ALWAYS runs the full scan.
+  bool admission_scan = true;
 };
 
 /// Fixed-bucket latency histogram: bucket 0 counts [0, 1) us, bucket i
@@ -228,6 +254,10 @@ struct ShardStats {
   std::uint64_t partials = 0;      ///< per-subcarrier partial QRs computed
   std::uint64_t rows_processed = 0;  ///< antenna rows factorized, summed
   double busy_seconds = 0.0;       ///< wall time inside the shard stage
+  /// Prep attempts this shard failed (numeric faults in the partial QR or
+  /// injected shard failures) — each triggers the submit-side
+  /// retry-then-bypass ladder.
+  std::uint64_t faults = 0;
 };
 
 /// Point-in-time snapshot of the runtime's counters (Runtime::stats()).
@@ -241,6 +271,13 @@ struct RuntimeStats {
   std::uint64_t frames_dropped = 0;
   std::uint64_t frames_expired = 0;
   std::uint64_t frames_failed = 0;
+  std::uint64_t frames_quarantined = 0;  ///< completed kQuarantined
+  /// Sharded-runtime degradation counters (0 on a monolithic Runtime):
+  /// shard-stage fan-outs re-run after a shard fault, and frames rerouted
+  /// merged-monolithic because the fabric failed twice or stalled past the
+  /// budget.
+  std::uint64_t shard_retries = 0;
+  std::uint64_t shard_bypasses = 0;
   std::uint64_t reconfigs = 0;  ///< reconfigurations applied, all cells
   std::size_t queue_depth = 0;  ///< queued across all cells (not in flight)
   std::size_t in_flight = 0;    ///< frames currently being detected
@@ -290,6 +327,12 @@ class FrameTicket {
   /// Blocks until the frame reaches a terminal state; returns it.
   TicketStatus wait() const;
 
+  /// Bounded wait: blocks at most `timeout`, returning the status observed
+  /// at the end — kPending iff the wait timed out.  The bound a caller
+  /// puts on a wedged runtime: soak harnesses assert zero ticket loss with
+  /// it instead of hanging on wait().
+  TicketStatus wait_for(std::chrono::steady_clock::duration timeout) const;
+
   /// Poll: the result when status() == kDone and it has not been take()n,
   /// nullptr otherwise (pending, dropped, expired and failed frames never
   /// expose a partial result; a consumed one is gone, not empty).
@@ -302,7 +345,9 @@ class FrameTicket {
   /// still reading the result, so the move never races a reader.
   FrameResult take();
 
-  /// Failure message when status() == kFailed, "" otherwise.
+  /// Failure message when status() is kFailed or kQuarantined (for a
+  /// quarantine: the offending coordinates from the numeric scan), ""
+  /// otherwise.
   std::string error() const;
 
   /// Registers a callback fired exactly once when the frame reaches a

@@ -1,6 +1,8 @@
 #include "api/uplink_pipeline.h"
 
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -17,6 +19,24 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+bool non_finite(const linalg::cplx& z) {
+  return !std::isfinite(z.real()) || !std::isfinite(z.imag());
+}
+
+/// Sentinel of the preprocessing failure index: "every subcarrier
+/// installed cleanly".
+constexpr std::size_t kNoBadSubcarrier = static_cast<std::size_t>(-1);
+
+/// Cold failure tail of detect_frame's preprocessing stage, hoisted out of
+/// the FLEXCORE_HOT_PATH function so its message construction never counts
+/// against the hot-path contract.
+[[noreturn]] void throw_preprocess_failure(std::size_t f) {
+  throw NumericError(
+      "detect_frame: preprocessing failed at subcarrier " +
+      std::to_string(f) +
+      " (non-finite or rank-deficient channel); caches invalidated");
+}
+
 }  // namespace
 
 void fold_batch_into_frame(detect::BatchResult& batch, std::size_t offset,
@@ -30,7 +50,7 @@ void fold_batch_into_frame(detect::BatchResult& batch, std::size_t offset,
   out->detect_seconds += batch.elapsed_seconds;
 }
 
-void validate_frame_job(const FrameJob& job) {
+void validate_frame_job(const FrameJob& job, FrameCheck check) {
   const std::size_t nsc = job.channels.size();
   const std::size_t nv = job.vectors_per_channel;
   if (job.ys.size() != nsc * nv) {
@@ -86,6 +106,35 @@ void validate_frame_job(const FrameJob& job) {
           std::to_string(i / nv) + ", symbol " + std::to_string(i % nv) +
           ") has length " + std::to_string(job.ys[i].size()) +
           " != channel rows " + std::to_string(front.rows()));
+    }
+  }
+  if (check != FrameCheck::kFull) return;
+  // Non-finite scan: a NaN/Inf entry anywhere would otherwise sail through
+  // QR (NaN comparisons are false at every tolerance gate) and surface as
+  // garbage symbols.  The first offender is named with its exact
+  // coordinates so a corrupt fronthaul points at the bad antenna/stream.
+  for (std::size_t f = 0; f < nsc; ++f) {
+    const linalg::CMat& h = job.channels[f];
+    const linalg::cplx* d = h.data();
+    const std::size_t n = h.rows() * h.cols();
+    for (std::size_t e = 0; e < n; ++e) {
+      if (non_finite(d[e])) {
+        throw NonFiniteError(
+            "FrameJob: channel of subcarrier " + std::to_string(f) +
+            " has a non-finite entry at (" + std::to_string(e / h.cols()) +
+            ", " + std::to_string(e % h.cols()) + ")");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < job.ys.size(); ++i) {
+    const linalg::CVec& y = job.ys[i];
+    for (std::size_t e = 0; e < y.size(); ++e) {
+      if (non_finite(y[e])) {
+        throw NonFiniteError(
+            "FrameJob: ys[" + std::to_string(i) + "] (subcarrier " +
+            std::to_string(i / nv) + ", symbol " + std::to_string(i % nv) +
+            ") has a non-finite entry at index " + std::to_string(e));
+      }
     }
   }
 }
@@ -308,9 +357,33 @@ void UplinkPipeline::detect_frame(const FrameJob& job, FrameResult* out_ptr) {
     const std::uint64_t pre_t0_ns =
         obs::want_span(job.trace) ? obs::now_ns() : 0;
     const auto t0 = std::chrono::steady_clock::now();
+    // Numeric guard: an exception must NOT escape a pool task (a throw on
+    // a spawned worker is std::terminate), so each task catches its own
+    // QR failure and the lowest failing subcarrier is reported through an
+    // atomic min instead.  The channel was already scanned for NaN/Inf by
+    // validate_frame_job, so this catches the finite-but-degenerate cases
+    // (rank-deficient H) that only QR can detect.
+    std::atomic<std::size_t> first_bad{kNoBadSubcarrier};
     pool_->parallel_for(nsc, [&](std::size_t f) {
-      frame_dets_[f]->set_channel(job.channels[f], job.noise_var);
+      try {
+        frame_dets_[f]->set_channel(job.channels[f], job.noise_var);
+      } catch (const std::exception&) {
+        std::size_t seen = first_bad.load(std::memory_order_relaxed);
+        while (f < seen &&
+               !first_bad.compare_exchange_weak(seen, f,
+                                                std::memory_order_relaxed)) {
+        }
+      }
     });
+    if (first_bad.load(std::memory_order_relaxed) != kNoBadSubcarrier) {
+      // The failing clone holds stale per-channel state; clean subcarriers
+      // installed fine but the FRAME is unusable.  Drop the reuse cache so
+      // no later frame can walk the mixed state, then fail this one.
+      frame_ready_channels_ = 0;
+      frame_ready_rows_ = 0;
+      frame_ready_cols_ = 0;
+      throw_preprocess_failure(first_bad.load(std::memory_order_relaxed));
+    }
     out.preprocess_seconds = seconds_since(t0);
     if (obs::want_span(job.trace)) {
       obs::record_span(obs::Stage::kPreprocess, pre_t0_ns, obs::now_ns(),

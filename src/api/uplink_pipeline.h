@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -126,6 +127,31 @@ struct FrameResult {
   double reconstruct_seconds = 0.0;
 };
 
+/// Thrown on NaN/Inf channel or payload entries (validate_frame_job's
+/// kFull scan).  A corrupt frame is an AIR-INTERFACE fault, not a caller
+/// bug: api::Runtime catches it on the dispatch path and completes the
+/// ticket as TicketStatus::kQuarantined instead of kFailed.
+class NonFiniteError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown by detect_frame when per-subcarrier preprocessing fails
+/// numerically (non-finite or rank-deficient QR).  The pipeline invalidates
+/// its preprocessing caches FIRST, so the next frame re-preprocesses from
+/// scratch — a quarantined frame never poisons its successor.  Also
+/// quarantined by api::Runtime.
+class NumericError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Validation depth of validate_frame_job.
+enum class FrameCheck {
+  kShape,  ///< structural checks only (sizes, antenna geometry)
+  kFull,   ///< kShape plus a non-finite scan of every channel/ys entry
+};
+
 /// Validates a FrameJob's shape without running it; throws
 /// std::invalid_argument on degenerate jobs:
 ///   * ys.size() != channels.size() * vectors_per_channel (mismatched
@@ -140,10 +166,17 @@ struct FrameResult {
 ///   * received vectors whose length differs from the channel row count.
 /// Zero subcarriers and zero vectors_per_channel are NOT errors: the former
 /// yields an empty FrameResult, the latter a preprocessing-only call.
-/// detect_frame runs these checks itself; api::Runtime::submit runs them
-/// synchronously so malformed jobs throw at the call site instead of
-/// failing asynchronously on a dispatcher thread.
-void validate_frame_job(const FrameJob& job);
+/// With FrameCheck::kFull (the default) every channel and received-vector
+/// entry is additionally scanned for NaN/Inf; the first offender throws
+/// NonFiniteError with its exact (subcarrier, row, col) / (vector, index)
+/// coordinates.  detect_frame always runs the full check (its
+/// never-poisons-the-next-frame guarantee depends on it);
+/// api::Runtime::submit runs the depth configured by
+/// RuntimeConfig::admission_scan — chaos/fault-injection harnesses disable
+/// the submit-side scan so corrupt frames exercise the dispatch-side
+/// quarantine instead of throwing at the call site.
+void validate_frame_job(const FrameJob& job,
+                        FrameCheck check = FrameCheck::kFull);
 
 /// Folds one subcarrier's BatchResult into a FrameResult at vector offset
 /// `offset` (results are moved out of `batch`; counters and timing

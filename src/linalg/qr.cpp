@@ -48,6 +48,13 @@ QrResult mgs_core(CMatView h, PickFn pick_next) {
 
     CVec qk = a.col(k);
     const double nrm = std::sqrt(norm2(qk));
+    if (!std::isfinite(nrm)) {
+      // NaN/Inf entries would otherwise sail PAST the rank tolerance (NaN
+      // comparisons are false) and poison Q/R silently.  Thrown in the
+      // tolerant path too: zeroing a non-finite column would corrupt the
+      // shard-partial stack rather than degrade it.
+      throw std::runtime_error("qr: non-finite matrix entries");
+    }
     if (nrm < kRankTol) {
       if constexpr (Tolerant) {
         // Residual column k lies in the span of the processed ones: leave
@@ -113,6 +120,9 @@ QrResult qr_householder(CMatView h) {
     CVec x(nr - k);
     for (std::size_t i = k; i < nr; ++i) x[i - k] = a(i, k);
     const double xnorm = std::sqrt(norm2(x));
+    if (!std::isfinite(xnorm)) {
+      throw std::runtime_error("qr: non-finite matrix entries");
+    }
     if (xnorm < kRankTol) throw std::runtime_error("qr: rank-deficient matrix");
 
     // alpha = -e^{i arg(x0)} * ||x||  makes the pivot real and positive

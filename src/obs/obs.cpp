@@ -39,6 +39,11 @@ const char* to_string(Counter counter) {
     case Counter::kI16BoundaryRescans: return "i16_boundary_rescans";
     case Counter::kShardMergeFanins: return "shard_merge_fanins";
     case Counter::kControlDecisions: return "control_decisions";
+    case Counter::kFramesQuarantined: return "frames_quarantined";
+    case Counter::kShardRetries: return "shard_retries";
+    case Counter::kShardBypasses: return "shard_bypasses";
+    case Counter::kWatchdogTransitions: return "watchdog_transitions";
+    case Counter::kFaultsInjected: return "faults_injected";
   }
   return "?";
 }

@@ -85,8 +85,14 @@ enum class Counter : std::uint8_t {
   kShardMergeFanins,     ///< shard partial-QR results merged (one per
                          ///< cluster per sharded frame)
   kControlDecisions,     ///< FeedbackLoop decisions emitted
+  kFramesQuarantined,    ///< frames completed kQuarantined (numeric faults)
+  kShardRetries,         ///< shard-stage fan-outs re-run after a shard fault
+  kShardBypasses,        ///< frames rerouted past a failed/stalled shard
+                         ///< fabric (merged-monolithic fallback)
+  kWatchdogTransitions,  ///< per-cell health state changes (CellHealth)
+  kFaultsInjected,       ///< faults injected by fault::Injector
 };
-inline constexpr std::size_t kCounterCount = 12;
+inline constexpr std::size_t kCounterCount = 17;
 const char* to_string(Counter counter);
 
 /// Degrade-ladder rungs tracked by the per-rung shed counters (a

@@ -3,6 +3,7 @@
 #include "parallel/hot_path_guard.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -15,18 +16,33 @@ namespace flexcore::api {
 
 using Clock = std::chrono::steady_clock;
 
-/// Work order one submit() posts to every shard driver.  Lives on the
-/// submitting thread's stack — submit blocks until `remaining` hits zero,
-/// so the raw pointers cannot dangle.
+/// Work order one submit() posts to every shard driver.  Heap-allocated
+/// and co-owned by the mailboxes and the submitting thread, so a fan-out
+/// the submitter ABANDONS (stall budget exceeded -> bypass) stays valid
+/// for a driver that only gets to it later.  `job` is still a borrowed
+/// pointer into the caller's frame — see the shard_stall_budget_us
+/// lifetime note on ShardedRuntimeConfig.
 struct ShardedRuntime::PrepJob {
   const FrameJob* job = nullptr;  ///< the caller's original job (borrowed)
   MergedFrame* merged = nullptr;
+  /// Keeps the merged buffers alive for abandoned fan-outs.  A canceled
+  /// job's buffer is never recycled — a stalled driver may still write it.
+  std::shared_ptr<MergedFrame> merged_owner;
   obs::TraceCtx trace;  ///< decided by submit(); shard drivers record with it
   std::vector<shard::RowRange> plan;
   std::vector<std::size_t> row_offsets;  ///< merged-row start per cluster
   std::size_t nt = 0;
-  std::size_t nv = 0;   ///< vectors per channel
-  std::size_t nsc = 0;  ///< subcarriers
+  std::size_t nv = 0;       ///< vectors per channel
+  std::size_t nsc = 0;      ///< subcarriers
+  std::uint64_t frame = 0;  ///< sharded-path sequence, fed to the probe
+
+  /// The submitter timed out on this fan-out and went merged-monolithic:
+  /// a driver seeing this skips the work entirely (the caller's borrowed
+  /// spans may be on their way out).
+  std::atomic<bool> canceled{false};
+  /// Some shard faulted (injected or numeric) — the merged content is
+  /// invalid; the submit side retries once, then bypasses.
+  std::atomic<bool> failed{false};
 
   std::mutex mu;
   std::condition_variable cv;
@@ -42,13 +58,15 @@ struct ShardedRuntime::Shard {
 
   std::mutex mu;
   std::condition_variable cv;
-  std::deque<PrepJob*> mailbox;  ///< frames waiting for this shard, FIFO
+  /// Frames waiting for this shard, FIFO (shared: see PrepJob ownership).
+  std::deque<std::shared_ptr<PrepJob>> mailbox;
   bool shutdown = false;
 
   // Counters behind `mu` (surfaced as ShardStats).
   std::uint64_t frames = 0;
   std::uint64_t partials = 0;
   std::uint64_t rows_processed = 0;
+  std::uint64_t faults = 0;  ///< attempts this shard failed (injected+numeric)
   double busy_seconds = 0.0;
   int driver_cpu = -1;  ///< pin target for the driver thread, -1 = none
 
@@ -93,9 +111,10 @@ ShardedRuntime::ShardedRuntime(const ShardedRuntimeConfig& cfg)
 }
 
 ShardedRuntime::~ShardedRuntime() {
-  // Submits have stopped (caller contract, as with Runtime) and the shard
-  // stage is synchronous inside submit, so every mailbox is empty; frames
-  // already handed to the inner runtime no longer need the shard fabric.
+  // Submits have stopped (caller contract, as with Runtime), so the only
+  // possible mailbox leftovers are CANCELED jobs from stalled fan-outs —
+  // the drivers drain those (cheap skips) before honouring shutdown;
+  // frames already handed to the inner runtime no longer need the fabric.
   for (auto& sh : shards_) {
     {
       std::lock_guard lock(sh->mu);
@@ -151,33 +170,44 @@ void ShardedRuntime::recycle_merged(std::shared_ptr<MergedFrame> m) {
   freelist_.push_back(std::move(m));
 }
 
-void ShardedRuntime::run_prep(std::size_t shard_id, PrepJob& pj) {
+bool ShardedRuntime::run_prep(std::size_t shard_id, PrepJob& pj) {
   Shard& sh = *shards_[shard_id];
   const shard::RowRange range = pj.plan[shard_id];
   const std::size_t k_c = shard::compressed_rows(range, pj.nt);
   const std::size_t row_off = pj.row_offsets[shard_id];
   const std::size_t nt = pj.nt;
   const std::size_t nv = pj.nv;
+  std::atomic<bool> bad{false};
   // One task per subcarrier on THIS shard's pool: the partial QR of this
   // cluster's antenna rows, its block copied into the merged stack, and
   // the cluster's slice of every received vector rotated — Q_c never
   // outlives the task.
   sh.pool.parallel_for(pj.nsc, [&](std::size_t f) {
-    const linalg::CMat& h = pj.job->channels[f];
-    shard::PartialQr partial =
-        shard::compute_partial(h.row_range(range.begin, range.count));
-    linalg::CMat& merged_h = pj.merged->channels[f];
-    std::memcpy(merged_h.data() + row_off * nt, partial.r.data(),
-                k_c * nt * sizeof(linalg::cplx));
-    for (std::size_t t = 0; t < nv; ++t) {
-      const linalg::CVec& y = pj.job->ys[f * nv + t];
-      linalg::CVec& z = pj.merged->zs[f * nv + t];
-      shard::rotate_partial(
-          partial, std::span<const linalg::cplx>(y.data() + range.begin,
-                                                 range.count),
-          std::span<linalg::cplx>(z.data() + row_off, k_c));
+    try {
+      const linalg::CMat& h = pj.job->channels[f];
+      shard::PartialQr partial =
+          shard::compute_partial(h.row_range(range.begin, range.count));
+      linalg::CMat& merged_h = pj.merged->channels[f];
+      std::memcpy(merged_h.data() + row_off * nt, partial.r.data(),
+                  k_c * nt * sizeof(linalg::cplx));
+      for (std::size_t t = 0; t < nv; ++t) {
+        const linalg::CVec& y = pj.job->ys[f * nv + t];
+        linalg::CVec& z = pj.merged->zs[f * nv + t];
+        shard::rotate_partial(
+            partial, std::span<const linalg::cplx>(y.data() + range.begin,
+                                                   range.count),
+            std::span<linalg::cplx>(z.data() + row_off, k_c));
+      }
+    } catch (const std::exception&) {
+      // Exceptions must never cross the pool boundary (worker_loop has no
+      // handler — std::terminate on a spawned worker): a partial QR that
+      // cannot factorize this cluster's rows (non-finite entries) fails
+      // the shard's whole attempt instead, and the submit side's
+      // retry-then-bypass ladder takes it from there.
+      bad.store(true, std::memory_order_relaxed);
     }
   });
+  return !bad.load(std::memory_order_relaxed);
 }
 
 void ShardedRuntime::shard_loop(std::size_t shard_id) {
@@ -193,39 +223,59 @@ void ShardedRuntime::shard_loop(std::size_t shard_id) {
   for (;;) {
     sh.cv.wait(lock, [&] { return sh.shutdown || !sh.mailbox.empty(); });
     if (sh.mailbox.empty()) return;  // shutdown with everything drained
-    PrepJob* pj = sh.mailbox.front();
+    std::shared_ptr<PrepJob> pj = std::move(sh.mailbox.front());
     sh.mailbox.pop_front();
     lock.unlock();
 
+    // Chaos hook: an injected verdict may stall this driver and/or fail
+    // the attempt outright, skipping the math — the submit side's
+    // retry-then-bypass ladder handles both.
+    ShardFaultAction act;
+    if (fault_probe_) act = fault_probe_(shard_id, pj->frame);
+    if (act.stall_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(act.stall_us));
+    }
+
     const auto t0 = Clock::now();
-    run_prep(shard_id, *pj);
+    // Re-check AFTER any stall: a fan-out the submitter abandoned must not
+    // be touched (the borrowed job spans may be going away).
+    const bool skipped = pj->canceled.load(std::memory_order_acquire);
+    bool faulted = false;
+    if (!skipped) {
+      faulted = act.fail || !run_prep(shard_id, *pj);
+      if (faulted) pj->failed.store(true, std::memory_order_release);
+    }
     const auto t1 = Clock::now();
-    if (obs::want_span(pj->trace)) {
+    if (!skipped && !faulted && obs::want_span(pj->trace)) {
       // One span per cluster on the shard's own track; aux = cluster id.
       obs::record_span(obs::Stage::kShardPartialQr, obs::to_ns(t0),
                        obs::to_ns(t1), pj->trace,
                        static_cast<std::uint32_t>(shard_id));
     }
-    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    const double secs =
+        skipped ? 0.0 : std::chrono::duration<double>(t1 - t0).count();
     {
       // Notify UNDER the job lock: the moment the submitter observes
-      // remaining == 0 it may unwind the PrepJob's stack frame, so the cv
-      // must not be touched after this block releases the mutex.
+      // remaining == 0 it may move on (retry or bypass), so the cv must
+      // not be touched after this block releases the mutex.
       std::lock_guard jlock(pj->mu);
       parallel::guard_detail::note_lock();
       --pj->remaining;
       pj->cv.notify_all();
     }
+    pj.reset();  // drop co-ownership before blocking on the mailbox again
 
     lock.lock();
     parallel::guard_detail::note_lock();  // re-acquired after unlocked section
     sh.busy_seconds += secs;
+    if (faulted) ++sh.faults;
   }
 }
 
 FrameTicket ShardedRuntime::submit(Cell& cell, const FrameJob& job,
                                    std::uint64_t deadline_us) {
-  validate_frame_job(job);
+  validate_frame_job(job, cfg_.runtime.admission_scan ? FrameCheck::kFull
+                                                      : FrameCheck::kShape);
   const std::size_t nsc = job.channels.size();
   const std::size_t b = nsc > 0 ? job.channels.front().rows() : 0;
   const std::size_t effective = std::min(cfg_.shards, b);
@@ -240,60 +290,123 @@ FrameTicket ShardedRuntime::submit(Cell& cell, const FrameJob& job,
   const std::size_t nt = job.channels.front().cols();
   const std::size_t nv = job.vectors_per_channel;
 
-  PrepJob pj;
-  pj.job = &job;
   // This is the outermost submit for sharded frames: decide the trace
   // identity here so every cluster's span and the inner runtime's stages
   // agree on the frame id and the sampling verdict.
-  pj.trace = job.trace.decided
-                 ? job.trace
-                 : obs::begin_frame(static_cast<std::uint32_t>(cell.id()));
-  pj.plan = shard::plan_shards(b, effective);
-  pj.row_offsets.resize(pj.plan.size());
+  const obs::TraceCtx trace =
+      job.trace.decided
+          ? job.trace
+          : obs::begin_frame(static_cast<std::uint32_t>(cell.id()));
+  const std::uint64_t frame =
+      frame_seq_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::vector<shard::RowRange> plan = shard::plan_shards(b, effective);
+  std::vector<std::size_t> row_offsets(plan.size());
   std::size_t k = 0;
-  for (std::size_t s = 0; s < pj.plan.size(); ++s) {
-    pj.row_offsets[s] = k;
-    k += shard::compressed_rows(pj.plan[s], nt);
+  for (std::size_t s = 0; s < plan.size(); ++s) {
+    row_offsets[s] = k;
+    k += shard::compressed_rows(plan[s], nt);
   }
-  pj.nt = nt;
-  pj.nv = nv;
-  pj.nsc = nsc;
-  pj.remaining = pj.plan.size();
 
   std::shared_ptr<MergedFrame> merged =
       acquire_merged(nsc, k, nt, job.ys.size());
-  pj.merged = merged.get();
 
-  // Fan the frame out to its clusters' mailboxes, then wait for all of
-  // them — the only barrier in the system, and it is per-frame: two
-  // threads submitting different frames interleave freely on the fabric.
-  for (std::size_t s = 0; s < pj.plan.size(); ++s) {
-    Shard& sh = *shards_[s];
-    {
-      std::lock_guard lock(sh.mu);
-      parallel::guard_detail::note_lock();
-      sh.mailbox.push_back(&pj);
-      // Counters at enqueue time (busy_seconds follows when the work
-      // runs): deterministic for stats() calls after submit returned.
-      ++sh.frames;
-      sh.partials += nsc;
-      sh.rows_processed +=
-          static_cast<std::uint64_t>(pj.plan[s].count) * nsc;
+  // Up to two fan-outs (first attempt + one retry after a shard fault),
+  // then graceful degradation to a merged-monolithic bypass — the ticket
+  // NEVER hangs on a dead or stalled cluster.
+  bool prepped = false;
+  bool stalled = false;
+  for (int attempt = 0; attempt < 2 && !prepped && !stalled; ++attempt) {
+    auto pj = std::make_shared<PrepJob>();
+    pj->job = &job;
+    pj->merged = merged.get();
+    pj->merged_owner = merged;
+    pj->trace = trace;
+    pj->plan = plan;
+    pj->row_offsets = row_offsets;
+    pj->nt = nt;
+    pj->nv = nv;
+    pj->nsc = nsc;
+    pj->frame = frame;
+    pj->remaining = plan.size();
+
+    // Fan the frame out to its clusters' mailboxes, then wait for all of
+    // them — the only barrier in the system, and it is per-frame: two
+    // threads submitting different frames interleave freely on the fabric.
+    for (std::size_t s = 0; s < plan.size(); ++s) {
+      Shard& sh = *shards_[s];
+      {
+        std::lock_guard lock(sh.mu);
+        parallel::guard_detail::note_lock();
+        sh.mailbox.push_back(pj);
+        // Counters at enqueue time (busy_seconds follows when the work
+        // runs): deterministic for stats() calls after submit returned.
+        ++sh.frames;
+        sh.partials += nsc;
+        sh.rows_processed +=
+            static_cast<std::uint64_t>(plan[s].count) * nsc;
+      }
+      sh.cv.notify_one();
     }
-    sh.cv.notify_one();
+    {
+      std::unique_lock lock(pj->mu);
+      parallel::guard_detail::note_lock();
+      if (cfg_.shard_stall_budget_us == 0) {
+        pj->cv.wait(lock, [&] { return pj->remaining == 0; });
+      } else if (!pj->cv.wait_for(
+                     lock,
+                     std::chrono::microseconds(cfg_.shard_stall_budget_us),
+                     [&] { return pj->remaining == 0; })) {
+        stalled = true;
+      }
+    }
+    if (stalled) {
+      // A cluster blew the stall budget.  Abandon the fan-out — a driver
+      // reaching the job later sees `canceled` and skips it — and leave
+      // the merged buffer co-owned by the abandoned job (a stalled driver
+      // may still be writing it, so it is never recycled).
+      pj->canceled.store(true, std::memory_order_release);
+      merged = nullptr;
+    } else if (!pj->failed.load(std::memory_order_acquire)) {
+      prepped = true;
+    } else if (attempt == 0) {
+      // Every cluster responded (the buffer is quiescent) but at least one
+      // faulted: one full re-fan overwrites every row, so a transient
+      // fault heals here without the caller ever noticing.
+      obs::counter_add(obs::Counter::kShardRetries);
+      retries_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  {
-    std::unique_lock lock(pj.mu);
-    parallel::guard_detail::note_lock();
-    pj.cv.wait(lock, [&] { return pj.remaining == 0; });
+
+  if (!prepped) {
+    // Retry exhausted or fan-out stalled: BYPASS the fabric for this
+    // frame.  Rebuild the merged buffers as the raw B-antenna frame
+    // (identity merge — channels and ys copied verbatim) and let the
+    // inner runtime detect it monolithically; that is the K == B
+    // degenerate merge, bit-identical to api::Runtime on the original
+    // job.  Degraded throughput for this frame, but never a lost ticket.
+    if (merged) recycle_merged(std::move(merged));  // quiescent: reuse it
+    merged = acquire_merged(nsc, b, nt, job.ys.size());
+    for (std::size_t f = 0; f < nsc; ++f) {
+      std::memcpy(merged->channels[f].data(), job.channels[f].data(),
+                  b * nt * sizeof(linalg::cplx));
+    }
+    for (std::size_t i = 0; i < job.ys.size(); ++i) {
+      merged->zs[i] = job.ys[i];
+    }
+    obs::counter_add(obs::Counter::kShardBypasses);
+    bypasses_.fetch_add(1, std::memory_order_relaxed);
   }
+
   const auto merged_at = Clock::now();
-  obs::counter_add(obs::Counter::kShardMergeFanins, effective);
-  if (obs::want_span(pj.trace)) {
+  if (prepped) {
+    obs::counter_add(obs::Counter::kShardMergeFanins, effective);
+  }
+  if (obs::want_span(trace)) {
     // Whole-stage span on the SUBMITTER's track (fan-out through merge
     // wait); the per-cluster spans it covers live on the shard tracks.
     obs::record_span(obs::Stage::kShardPartialQr, obs::to_ns(t0),
-                     obs::to_ns(merged_at), pj.trace,
+                     obs::to_ns(merged_at), trace,
                      static_cast<std::uint32_t>(effective));
   }
   {
@@ -305,7 +418,7 @@ FrameTicket ShardedRuntime::submit(Cell& cell, const FrameJob& job,
   }
 
   FrameJob inner = job;
-  inner.trace = pj.trace;
+  inner.trace = trace;
   inner.channels = std::span<const linalg::CMat>(merged->channels);
   inner.ys = std::span<const linalg::CVec>(merged->zs);
 
@@ -343,9 +456,12 @@ RuntimeStats ShardedRuntime::stats() const {
     ss.frames = sh->frames;
     ss.partials = sh->partials;
     ss.rows_processed = sh->rows_processed;
+    ss.faults = sh->faults;
     ss.busy_seconds = sh->busy_seconds;
     out.shards.push_back(ss);
   }
+  out.shard_retries = retries_.load(std::memory_order_relaxed);
+  out.shard_bypasses = bypasses_.load(std::memory_order_relaxed);
   {
     // The inner runtime never sees the shard stage; fold the submit-side
     // histogram into the combined per-stage view.  NOTE: recorded at

@@ -50,8 +50,10 @@
 // the monolithic runtime into BENCH_sharded.json.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -59,6 +61,23 @@
 #include "shard/partial_qr.h"
 
 namespace flexcore::api {
+
+/// Verdict of a ShardFaultProbe for one (shard, frame) prep attempt.
+/// Chaos harnesses install a probe (fault::Injector::shard_probe) to
+/// simulate cluster failures: `fail` makes the shard skip the prep and
+/// report a fault (exercising the submit-side retry-then-bypass ladder),
+/// `stall_us` sleeps the driver first (exercising the stall budget).
+struct ShardFaultAction {
+  bool fail = false;
+  std::uint32_t stall_us = 0;
+};
+
+/// Called by each shard driver before it preprocesses a frame.  Invoked
+/// concurrently from the C driver threads — must be thread-safe; `frame`
+/// is the sharded-path frame sequence number (0-based, identical across
+/// the shards of one frame).
+using ShardFaultProbe =
+    std::function<ShardFaultAction(std::size_t shard, std::uint64_t frame)>;
 
 struct ShardedRuntimeConfig {
   /// Antenna clusters C.  Each gets a driver thread + private ThreadPool.
@@ -74,6 +93,15 @@ struct ShardedRuntimeConfig {
   /// the "each cluster owns its cores" deployment.  Best-effort (see
   /// parallel::PoolOptions); off by default.
   bool pin_shard_workers = false;
+  /// Upper bound, in microseconds, submit() waits for the shard fabric
+  /// before declaring the frame's fan-out stalled and bypassing it
+  /// (merged-monolithic fallback — the ticket NEVER hangs on a dead
+  /// cluster).  0 (default) waits forever — exactly the pre-fault-layer
+  /// semantics.  With a nonzero budget the caller's job spans must stay
+  /// valid for up to one budget window past submit (an abandoned driver
+  /// may still be reading them while it winds down); harnesses that arm
+  /// the budget keep their frames alive anyway.
+  std::uint64_t shard_stall_budget_us = 0;
   /// The inner detection runtime (shared PE pool, dispatchers, admission
   /// queue, policy) — exactly api::Runtime's knobs.
   RuntimeConfig runtime;
@@ -121,6 +149,13 @@ class ShardedRuntime {
   /// Resolved workers per shard pool (>= 1).
   std::size_t threads_per_shard() const noexcept { return threads_per_shard_; }
 
+  /// Installs the per-(shard, frame) fault probe (chaos testing; see
+  /// ShardFaultProbe).  Install BEFORE the first submit and never swap
+  /// while frames are in flight — the drivers read it unlocked.
+  void set_fault_probe(ShardFaultProbe probe) {
+    fault_probe_ = std::move(probe);
+  }
+
   Runtime& runtime() noexcept { return runtime_; }
   const ShardedRuntimeConfig& config() const noexcept { return cfg_; }
 
@@ -145,12 +180,25 @@ class ShardedRuntime {
   void recycle_merged(std::shared_ptr<MergedFrame> m);
   void shard_loop(std::size_t shard_id);
   /// This shard's slice of one frame: partial QR + rotation for every
-  /// subcarrier, fanned over the shard's own pool.
-  void run_prep(std::size_t shard_id, PrepJob& pj);
+  /// subcarrier, fanned over the shard's own pool.  Returns false when any
+  /// subcarrier's partial failed numerically (non-finite / degenerate
+  /// channel rows) — exceptions never cross the pool boundary; the caller
+  /// marks the attempt failed and the submit side retries or bypasses.
+  bool run_prep(std::size_t shard_id, PrepJob& pj);
 
   ShardedRuntimeConfig cfg_;
   std::size_t threads_per_shard_ = 1;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Chaos hook (empty in production).  Written only before frames flow.
+  ShardFaultProbe fault_probe_;
+  /// Sharded-path frame sequence handed to the probe (pass-throughs and
+  /// reconfigures don't count).
+  std::atomic<std::uint64_t> frame_seq_{0};
+  /// Degradation counters folded into stats() (shard_retries /
+  /// shard_bypasses on RuntimeStats).
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> bypasses_{0};
 
   mutable std::mutex freelist_mu_;
   std::vector<std::shared_ptr<MergedFrame>> freelist_;

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "api/detector_registry.h"
@@ -13,6 +15,7 @@
 #include "channel/channel.h"
 #include "core/flexcore_detector.h"
 #include "detect/fcsd.h"
+#include "frame_fixtures.h"
 #include "parallel/thread_pool.h"
 
 namespace fa = flexcore::api;
@@ -339,4 +342,69 @@ TEST(Pipeline, UnknownDetectorSpecThrowsAtConstruction) {
   fa::PipelineConfig cfg;
   cfg.detector = "warp-drive";
   EXPECT_THROW(fa::UplinkPipeline pipe(cfg), std::invalid_argument);
+}
+
+// ------------------------------------------------- non-finite frame scan
+
+TEST(FrameJobScan, NamesTheExactChannelCoordinateOfTheFirstOffender) {
+  const Constellation qam(16);
+  const double nv = 0.05;
+  flexcore::testing::Frame fr =
+      flexcore::testing::make_frame(qam, 4, 2, 6, 4, nv, 200);
+  fr.channels[1](0, 2) =
+      flexcore::linalg::cplx(std::numeric_limits<double>::quiet_NaN(), 0.0);
+
+  try {
+    fa::validate_frame_job(flexcore::testing::job_of(fr, nv));
+    FAIL() << "a NaN channel entry must be rejected by the full scan";
+  } catch (const fa::NonFiniteError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("channel of subcarrier 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(0, 2)"), std::string::npos) << msg;
+  }
+}
+
+TEST(FrameJobScan, NamesTheExactPayloadIndexOfTheFirstOffender) {
+  const Constellation qam(16);
+  const double nv = 0.05;
+  // 2 vectors per channel: ys[5] is subcarrier 2, symbol 1.
+  flexcore::testing::Frame fr =
+      flexcore::testing::make_frame(qam, 4, 2, 6, 4, nv, 201);
+  fr.ys[5][3] =
+      flexcore::linalg::cplx(0.0, std::numeric_limits<double>::infinity());
+
+  try {
+    fa::validate_frame_job(flexcore::testing::job_of(fr, nv));
+    FAIL() << "an Inf payload entry must be rejected by the full scan";
+  } catch (const fa::NonFiniteError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("ys[5]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("subcarrier 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("symbol 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("index 3"), std::string::npos) << msg;
+  }
+  // NonFiniteError IS an invalid_argument: legacy catch sites keep working.
+  EXPECT_THROW(fa::validate_frame_job(flexcore::testing::job_of(fr, nv)),
+               std::invalid_argument);
+}
+
+TEST(FrameJobScan, ShapeCheckSkipsTheEntryScanButKeepsGeometry) {
+  const Constellation qam(16);
+  const double nv = 0.05;
+  flexcore::testing::Frame fr =
+      flexcore::testing::make_frame(qam, 3, 2, 6, 4, nv, 202);
+  fr.ys[0][0] =
+      flexcore::linalg::cplx(std::numeric_limits<double>::quiet_NaN(), 0.0);
+
+  // kShape admits the non-finite entry (chaos harnesses rely on this to
+  // exercise the dispatch-side quarantine)...
+  EXPECT_NO_THROW(fa::validate_frame_job(flexcore::testing::job_of(fr, nv),
+                                         fa::FrameCheck::kShape));
+  // ...but still rejects structural breakage.
+  flexcore::testing::Frame ragged =
+      flexcore::testing::make_frame(qam, 3, 2, 6, 4, nv, 203);
+  ragged.channels[1] = CMat(5, 4);
+  EXPECT_THROW(fa::validate_frame_job(flexcore::testing::job_of(ragged, nv),
+                                      fa::FrameCheck::kShape),
+               std::invalid_argument);
 }

@@ -145,6 +145,36 @@ TEST(ObsMetrics, CountersAndTextJsonRendering) {
   EXPECT_NE(json.find("\"shed_per_rung\""), std::string::npos) << json;
 }
 
+TEST(ObsMetrics, FaultAndDegradationCountersRender) {
+  // The robustness counters (quarantine, shard degradation ladder,
+  // watchdog, injector) flow through the same snapshot/JSON path as the
+  // steady-state ones — scrapers see fault events without new plumbing.
+  obs::reset_for_test(traced(0));
+  obs::counter_add(obs::Counter::kFramesQuarantined, 3);
+  obs::counter_add(obs::Counter::kShardRetries, 2);
+  obs::counter_add(obs::Counter::kShardBypasses);
+  obs::counter_add(obs::Counter::kWatchdogTransitions, 4);
+  obs::counter_add(obs::Counter::kFaultsInjected, 7);
+
+  const obs::MetricsSnapshot ms = obs::metrics_snapshot();
+  EXPECT_EQ(
+      ms.counters[static_cast<std::size_t>(obs::Counter::kFramesQuarantined)],
+      3u);
+  EXPECT_EQ(
+      ms.counters[static_cast<std::size_t>(obs::Counter::kFaultsInjected)],
+      7u);
+  const std::string json = obs::metrics_to_json(ms);
+  EXPECT_NE(json.find("\"frames_quarantined\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shard_retries\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shard_bypasses\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"watchdog_transitions\": 4"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"faults_injected\": 7"), std::string::npos) << json;
+  const std::string text = obs::metrics_to_text(ms);
+  EXPECT_NE(text.find("obs_frames_quarantined 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("obs_faults_injected 7"), std::string::npos) << text;
+}
+
 TEST(ObsExport, ChromeTraceIsWellFormed) {
   obs::reset_for_test(traced(1, 64));
   obs::set_thread_track("driver");

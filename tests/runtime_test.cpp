@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -51,11 +52,12 @@ void expect_consistent(const fa::RuntimeStats& rs) {
   for (const fa::CellStats& cs : rs.cells) {
     EXPECT_EQ(cs.frames_in,
               cs.frames_out + cs.frames_dropped + cs.frames_expired +
-                  cs.frames_failed + cs.queue_depth + cs.in_flight)
+                  cs.frames_failed + cs.frames_quarantined + cs.queue_depth +
+                  cs.in_flight)
         << "cell " << cs.cell_id;
     in += cs.frames_in;
     accounted += cs.frames_out + cs.frames_dropped + cs.frames_expired +
-                 cs.frames_failed;
+                 cs.frames_failed + cs.frames_quarantined;
   }
   EXPECT_EQ(rs.frames_in, in);
   EXPECT_EQ(rs.frames_in,
@@ -491,6 +493,135 @@ TEST(Runtime, SubmitAfterShutdownThrows) {
   // the queue_capacity guard instead of racing the destructor.
   EXPECT_THROW(fa::Runtime rt(fa::RuntimeConfig{.queue_capacity = 0}),
                std::invalid_argument);
+}
+
+// -------------------------------------------- quarantine + health watchdog
+
+TEST(Runtime, WaitForTimesOutPendingAndSeesTerminalStates) {
+  fa::RuntimeConfig rcfg;
+  rcfg.threads = 1;
+  rcfg.dispatchers = 0;  // poll mode: nothing completes until run_one()
+  fa::Runtime rt(rcfg);
+  fa::Cell& cell = rt.open_cell({.detector = "flexcore-8", .qam_order = 16});
+  const double nv = 0.05;
+  const Frame fr = make_frame(cell.constellation(), 2, 2, 4, 4, nv, 80);
+
+  fa::FrameTicket t = rt.submit(cell, job_of(fr, nv));
+  EXPECT_EQ(t.wait_for(std::chrono::milliseconds(5)),
+            fa::TicketStatus::kPending)
+      << "wait_for must time out on an unpumped frame, not hang";
+
+  ASSERT_TRUE(rt.run_one());
+  EXPECT_EQ(t.wait_for(std::chrono::seconds(5)), fa::TicketStatus::kDone);
+  // Terminal tickets answer immediately, timeout notwithstanding.
+  EXPECT_EQ(t.wait_for(std::chrono::nanoseconds(0)),
+            fa::TicketStatus::kDone);
+}
+
+TEST(Runtime, NonFiniteFrameIsQuarantinedAndNeverPoisonsTheNext) {
+  fa::RuntimeConfig rcfg;
+  rcfg.threads = 1;
+  rcfg.dispatchers = 0;
+  rcfg.admission_scan = false;  // let corruption reach the dispatch path
+  fa::Runtime rt(rcfg);
+  fa::Cell& cell = rt.open_cell({.detector = "flexcore-8", .qam_order = 16});
+  const double nv = 0.05;
+  const Frame clean = make_frame(cell.constellation(), 3, 2, 4, 4, nv, 81);
+
+  Frame bad = clean;
+  bad.ys[1][0] = flexcore::linalg::cplx(
+      std::numeric_limits<double>::quiet_NaN(), 0.0);
+
+  fa::FrameTicket q = rt.submit(cell, job_of(bad, nv));  // scan off: admitted
+  fa::FrameTicket ok = rt.submit(cell, job_of(clean, nv));
+  ASSERT_TRUE(rt.run_one());
+  ASSERT_TRUE(rt.run_one());
+  EXPECT_FALSE(rt.run_one());
+
+  EXPECT_EQ(q.wait(), fa::TicketStatus::kQuarantined);
+  EXPECT_EQ(q.try_get(), nullptr)
+      << "quarantined frames must never expose a partial result";
+  EXPECT_THROW(q.take(), std::logic_error);
+  EXPECT_NE(q.error().find("non-finite"), std::string::npos) << q.error();
+
+  // Containment: the very next clean frame detects bit-identically to a
+  // fresh synchronous pipeline — nothing leaked from the corrupt frame.
+  EXPECT_EQ(ok.wait(), fa::TicketStatus::kDone);
+  expect_bit_identical(ok.try_get()->results,
+                       sync_reference("flexcore-8", 16, clean, nv),
+                       "frame after quarantine");
+
+  const fa::RuntimeStats rs = rt.stats();
+  expect_consistent(rs);
+  EXPECT_EQ(rs.frames_quarantined, 1u);
+  EXPECT_EQ(rs.frames_failed, 0u)
+      << "corrupt input is kQuarantined, not kFailed";
+  EXPECT_EQ(rs.frames_out, 1u);
+  EXPECT_EQ(rs.latency_count, 1u)
+      << "quarantined frames record no latency sample";
+}
+
+TEST(Runtime, AdmissionScanRejectsNonFiniteFramesAtSubmit) {
+  fa::RuntimeConfig rcfg;
+  rcfg.threads = 1;
+  rcfg.dispatchers = 0;
+  ASSERT_TRUE(rcfg.admission_scan) << "the full scan is the default";
+  fa::Runtime rt(rcfg);
+  fa::Cell& cell = rt.open_cell({.detector = "flexcore-8", .qam_order = 16});
+  Frame bad = make_frame(cell.constellation(), 2, 2, 4, 4, 0.05, 82);
+  bad.channels[0](1, 2) = flexcore::linalg::cplx(
+      0.0, std::numeric_limits<double>::infinity());
+
+  EXPECT_THROW(rt.submit(cell, job_of(bad, 0.05)), fa::NonFiniteError);
+  EXPECT_EQ(rt.stats().frames_in, 0u)
+      << "rejected frames never enter the accounting";
+  EXPECT_FALSE(rt.run_one());
+}
+
+TEST(Runtime, WatchdogDegradesOnBadBurstsAndRecovers) {
+  fa::RuntimeConfig rcfg;
+  rcfg.threads = 1;
+  rcfg.dispatchers = 0;
+  rcfg.admission_scan = false;
+  fa::Runtime rt(rcfg);
+  fa::Cell& cell = rt.open_cell({.detector = "flexcore-8", .qam_order = 16});
+  const double nv = 0.05;
+  const Frame clean = make_frame(cell.constellation(), 2, 2, 4, 4, nv, 83);
+  Frame bad = clean;
+  bad.ys[0][0] = flexcore::linalg::cplx(
+      std::numeric_limits<double>::quiet_NaN(), 0.0);
+
+  EXPECT_EQ(rt.stats().cells[0].health,
+            static_cast<int>(fa::CellHealth::kHealthy));
+
+  // A burst of corrupt frames: the verdict must escalate to quarantining.
+  for (int i = 0; i < 4; ++i) {
+    fa::FrameTicket t = rt.submit(cell, job_of(bad, nv));
+    ASSERT_TRUE(rt.run_one());
+    EXPECT_EQ(t.wait(), fa::TicketStatus::kQuarantined);
+  }
+  {
+    const fa::RuntimeStats rs = rt.stats();
+    expect_consistent(rs);
+    EXPECT_EQ(rs.cells[0].health,
+              static_cast<int>(fa::CellHealth::kQuarantining));
+    EXPECT_GE(rs.cells[0].health_transitions, 1u);
+  }
+
+  // A clean window (the full health ring) heals the verdict back.
+  for (int i = 0; i < 16; ++i) {
+    fa::FrameTicket t = rt.submit(cell, job_of(clean, nv));
+    ASSERT_TRUE(rt.run_one());
+    EXPECT_EQ(t.wait(), fa::TicketStatus::kDone);
+  }
+  {
+    const fa::RuntimeStats rs = rt.stats();
+    expect_consistent(rs);
+    EXPECT_EQ(rs.cells[0].health,
+              static_cast<int>(fa::CellHealth::kHealthy));
+    EXPECT_GE(rs.cells[0].health_transitions, 2u)
+        << "the recovery is a transition too";
+  }
 }
 
 // ------------------------------------------------------- latency histogram
